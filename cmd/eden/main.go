@@ -1,0 +1,57 @@
+// Command eden runs the end-to-end EDEN pipeline for one zoo model:
+// profile a module, fit an error model, curricularly retrain the DNN,
+// characterize its tolerable bit error rate, and print the mapped DRAM
+// operating point (a Table 3 row).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/eden"
+	"repro/internal/quant"
+)
+
+func main() {
+	model := flag.String("model", "LeNet", "zoo model name (see internal/dnn.Zoo)")
+	vendor := flag.String("vendor", "A", "DRAM vendor profile: A, B or C")
+	prec := flag.String("prec", "fp32", "precision: fp32, int16, int8, int4")
+	drop := flag.Float64("maxdrop", 0.01, "maximum tolerated accuracy drop")
+	epochs := flag.Int("epochs", 8, "curricular retraining epochs per round")
+	rounds := flag.Int("rounds", 1, "boost/characterize rounds")
+	flag.Parse()
+
+	p, err := parsePrecision(*prec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := eden.DefaultPipeline(*vendor)
+	cfg.Prec = p
+	cfg.Char.MaxDrop = *drop
+	cfg.RetrainEpochs = *epochs
+	cfg.Rounds = *rounds
+
+	res, err := eden.RunCoarsePipeline(*model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("error model: %v (aggregate BER %.2e)\n", res.ErrorModel.Kind, res.ErrorModel.AggregateBER())
+	fmt.Printf("baseline tolerable BER: %.3e\n", res.BaselineTolBER)
+	fmt.Printf("boosted  tolerable BER: %.3e\n", res.BoostedTolBER)
+	fmt.Println(res)
+}
+
+func parsePrecision(s string) (quant.Precision, error) {
+	switch s {
+	case "fp32", "FP32":
+		return quant.FP32, nil
+	case "int16":
+		return quant.Int16, nil
+	case "int8":
+		return quant.Int8, nil
+	case "int4":
+		return quant.Int4, nil
+	}
+	return 0, fmt.Errorf("unknown precision %q", s)
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures using the
+// EDEN reproduction. Run with no arguments for every experiment, or pass
+// experiment names (table1, table2, table3, fig5, fig7, fig8, fig9, fig10,
+// fig11, fig12, fig13, fig14, gpu, accel, profiling, policy, pruning, refresh, margin, curriculum).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	flag.Parse()
+	sel := map[string]bool{}
+	for _, a := range flag.Args() {
+		sel[a] = true
+	}
+	all := len(sel) == 0
+	want := func(name string) bool { return all || sel[name] }
+
+	type runner struct {
+		name string
+		run  func() (experiments.Report, error)
+	}
+	runners := []runner{
+		{"table1", func() (experiments.Report, error) { return experiments.Table1ModelZoo(), nil }},
+		{"table2", func() (experiments.Report, error) { return experiments.Table2Baselines(), nil }},
+		{"table3", func() (experiments.Report, error) { return experiments.Table3Coarse(nil) }},
+		{"fig5", func() (experiments.Report, error) { return experiments.Figure5BERCurves(), nil }},
+		{"fig7", experiments.Figure7ModelValidation},
+		{"fig8", experiments.Figure8ToleranceCurves},
+		{"fig9", experiments.Figure9BoostedOnDevice},
+		{"fig10", experiments.Figure10RetrainingAblation},
+		{"fig11", experiments.Figure11FineGrained},
+		{"fig12", experiments.Figure12Mapping},
+		{"fig13", experiments.Figure13CPUEnergy},
+		{"fig14", experiments.Figure14CPUSpeedup},
+		{"gpu", experiments.Section72GPU},
+		{"accel", experiments.Section72Accelerators},
+		{"profiling", func() (experiments.Report, error) { return experiments.ProfilingCost(), nil }},
+		{"policy", experiments.CorrectionPolicyAblation},
+		{"pruning", experiments.PruningAblation},
+		{"refresh", experiments.RefreshExtension},
+		{"margin", experiments.BoundingMarginAblation},
+		{"curriculum", experiments.CurriculumStepAblation},
+	}
+	failed := false
+	for _, r := range runners {
+		if !want(r.name) {
+			continue
+		}
+		rep, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(rep)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

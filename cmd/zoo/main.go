@@ -1,0 +1,50 @@
+// Command zoo lists the model zoo: architecture footprints, training
+// recipes and (with -train) reliable-DRAM baseline metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dnn"
+)
+
+func main() {
+	train := flag.Bool("train", false, "train (or load cached) models and print baselines")
+	flag.Parse()
+
+	fmt.Printf("%-14s %-8s %9s %12s %12s %7s\n",
+		"Model", "Task", "Params", "Weights", "IFM+Weights", "Layers")
+	for _, spec := range dnn.Zoo {
+		net, err := dnn.BuildModel(spec.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		task := "classify"
+		if spec.Task == dnn.Detect {
+			task = "detect"
+		}
+		fmt.Printf("%-14s %-8s %9d %10.1fKB %10.1fKB %7d\n",
+			spec.Name, task, net.ParamCount(),
+			float64(net.WeightBytes())/1024,
+			float64(net.WeightBytes()+net.IFMBytes())/1024,
+			len(net.Layers))
+	}
+	if !*train {
+		return
+	}
+	fmt.Println()
+	for _, spec := range dnn.Zoo {
+		m, err := dnn.Pretrained(spec.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metric := "accuracy"
+		if spec.Task == dnn.Detect {
+			metric = "mAP"
+		}
+		fmt.Printf("%-14s baseline %s %.1f%% (%d epochs @ lr %.3f)\n",
+			spec.Name, metric, m.BaselineAcc*100, spec.Epochs, spec.LR)
+	}
+}

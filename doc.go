@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "EDEN: Enabling
+// Energy-Efficient, High-Performance Deep Neural Network Inference Using
+// Approximate DRAM" (Koppula et al., MICRO 2019). The library lives under
+// internal/ (see DESIGN.md for the system inventory), runnable binaries
+// under cmd/, usage examples under examples/, and the benchmark harness
+// that regenerates every table and figure of the paper's evaluation in
+// bench_test.go.
+package repro

@@ -1,0 +1,63 @@
+// The offloading example demonstrates §4's key idea: EDEN can run its
+// retraining and characterization on a machine that does NOT have the
+// target approximate DRAM, by characterizing the target module once,
+// fitting an error model, and injecting model errors in software. The
+// example fits models to two different vendors' modules, boosts a DNN
+// against each offloaded model, and verifies each boosted DNN on its
+// (simulated) target device — including the cross-check that a DNN boosted
+// for the wrong module underperforms one boosted for the right module.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dnn"
+	"repro/internal/dram"
+	"repro/internal/eden"
+	"repro/internal/quant"
+)
+
+func main() {
+	tm, err := dnn.Pretrained("LeNet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := dram.Nominal()
+	op.VDD = 1.06
+
+	type target struct {
+		vendor string
+		device *dram.Device
+		boost  *dnn.Network
+	}
+	var targets []*target
+	for _, vendor := range []string{"A", "B"} {
+		v, _ := dram.VendorByName(vendor)
+		device := dram.NewDevice(dram.DefaultGeometry(), v, 0x0FF)
+		// Offloading step 1: one characterization pass of the target.
+		em := eden.ProfileAndFit(device, 1.05, 64, 0x0FF)
+		fmt.Printf("vendor %s: fitted %v (BER %.2e)\n", vendor, em.Kind, em.AggregateBER())
+		// Offloading step 2: boost on the host using only the model.
+		rc := eden.DefaultRetrain(em, 0.01)
+		boosted := eden.Retrain(tm, rc)
+		targets = append(targets, &target{vendor: vendor, device: device, boost: boosted})
+	}
+
+	// Verification: run each boosted DNN on each device at the stress point.
+	fmt.Printf("\naccuracy on device at VDD=%.2fV:\n", op.VDD)
+	for _, dev := range targets {
+		dev.device.SetOperatingPoint(op)
+		for _, net := range targets {
+			corr := eden.NewDeviceDRAM(dev.device, quant.FP32)
+			corr.Calibrate(tm, 16, 0)
+			var sum float64
+			for r := 0; r < 3; r++ {
+				sum += net.boost.Accuracy(tm.ValSet, corr.EvalOptions(0))
+			}
+			fmt.Printf("  device %s <- DNN boosted for %s: %.1f%%\n",
+				dev.vendor, net.vendor, sum/3*100)
+		}
+		dev.device.SetOperatingPoint(dram.Nominal())
+	}
+}

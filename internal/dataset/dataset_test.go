@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPatternsDeterminism(t *testing.T) {
+	cfg := DefaultPatterns()
+	cfg.Samples = 20
+	a := Patterns(cfg)
+	b := Patterns(cfg)
+	if a.Len() != 20 || b.Len() != 20 {
+		t.Fatalf("lengths %d %d", a.Len(), b.Len())
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for j := range a.Samples[i].X.Data {
+			if a.Samples[i].X.Data[j] != b.Samples[i].X.Data[j] {
+				t.Fatalf("pixel mismatch at sample %d pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPatternsClassBalance(t *testing.T) {
+	cfg := DefaultPatterns()
+	cfg.Samples = 100
+	cfg.Classes = 10
+	d := Patterns(cfg)
+	counts := make([]int, cfg.Classes)
+	for _, s := range d.Samples {
+		counts[s.Label]++
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("class %d has %d samples, want 10", k, c)
+		}
+	}
+}
+
+func TestPatternsClassesAreDistinguishable(t *testing.T) {
+	cfg := DefaultPatterns()
+	cfg.Samples = 40
+	cfg.Noise = 0
+	cfg.Jitter = 0
+	d := Patterns(cfg)
+	// Without noise/jitter, samples of a class differ only by amplitude, so
+	// the cosine similarity within class should exceed between-class.
+	cos := func(a, b []float32) float64 {
+		var dot, na, nb float64
+		for i := range a {
+			dot += float64(a[i]) * float64(b[i])
+			na += float64(a[i]) * float64(a[i])
+			nb += float64(b[i]) * float64(b[i])
+		}
+		return dot / math.Sqrt(na*nb)
+	}
+	same := cos(d.Samples[0].X.Data, d.Samples[10].X.Data) // both class 0
+	diff := cos(d.Samples[0].X.Data, d.Samples[1].X.Data)  // class 0 vs 1
+	if same < 0.99 {
+		t.Fatalf("within-class similarity %v too low", same)
+	}
+	if diff > 0.8 {
+		t.Fatalf("between-class similarity %v too high", diff)
+	}
+}
+
+func TestBatchAssembly(t *testing.T) {
+	cfg := DefaultPatterns()
+	cfg.Samples = 10
+	d := Patterns(cfg)
+	x, labels := d.Batch([]int{3, 7})
+	if x.Dim(0) != 2 || x.Dim(1) != d.C || x.Dim(2) != d.H || x.Dim(3) != d.W {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if labels[0] != d.Samples[3].Label || labels[1] != d.Samples[7].Label {
+		t.Fatal("labels misaligned")
+	}
+	if x.At(1, 0, 0, 0) != d.Samples[7].X.At(0, 0, 0) {
+		t.Fatal("pixels misaligned")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cfg := DefaultPatterns()
+	cfg.Samples = 100
+	d := Patterns(cfg)
+	tr, va := d.Split(0.8)
+	if tr.Len() != 80 || va.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", tr.Len(), va.Len())
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Box{CX: 0.5, CY: 0.5, W: 0.4, H: 0.4}
+	if got := a.IoU(a); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("self IoU = %v", got)
+	}
+	b := Box{CX: 0.9, CY: 0.9, W: 0.1, H: 0.1}
+	if got := a.IoU(b); got != 0 {
+		t.Fatalf("disjoint IoU = %v", got)
+	}
+	// Half-overlapping boxes.
+	c := Box{CX: 0.7, CY: 0.5, W: 0.4, H: 0.4}
+	got := a.IoU(c)
+	want := 0.2 * 0.4 / (2*0.16 - 0.08)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("IoU = %v, want %v", got, want)
+	}
+}
+
+func TestBoxesGeneration(t *testing.T) {
+	cfg := DefaultBoxes()
+	cfg.Samples = 30
+	d := Boxes(cfg)
+	if d.Len() != 30 {
+		t.Fatalf("len %d", d.Len())
+	}
+	for i, s := range d.Samples {
+		b := s.Box
+		if b.W <= 0 || b.H <= 0 || b.W > 1 || b.H > 1 {
+			t.Fatalf("sample %d: degenerate box %+v", i, b)
+		}
+		if b.CX-b.W/2 < -1e-6 || b.CX+b.W/2 > 1+1e-6 {
+			t.Fatalf("sample %d: box out of bounds %+v", i, b)
+		}
+	}
+}
+
+func TestMeanAPPerfectDetector(t *testing.T) {
+	cfg := DefaultBoxes()
+	cfg.Samples = 20
+	d := Boxes(cfg)
+	preds := make([][]Detection, d.Len())
+	for i, s := range d.Samples {
+		preds[i] = []Detection{{Class: s.Class, Box: s.Box, Conf: 1}}
+	}
+	if ap := MeanAP(d.Samples, preds, 0.5); math.Abs(ap-1) > 1e-9 {
+		t.Fatalf("perfect detector mAP = %v, want 1", ap)
+	}
+}
+
+func TestMeanAPBlindDetector(t *testing.T) {
+	cfg := DefaultBoxes()
+	cfg.Samples = 20
+	d := Boxes(cfg)
+	preds := make([][]Detection, d.Len())
+	if ap := MeanAP(d.Samples, preds, 0.5); ap != 0 {
+		t.Fatalf("blind detector mAP = %v, want 0", ap)
+	}
+}
+
+func TestMeanAPWrongClassScoresZero(t *testing.T) {
+	cfg := DefaultBoxes()
+	cfg.Samples = 10
+	d := Boxes(cfg)
+	preds := make([][]Detection, d.Len())
+	for i, s := range d.Samples {
+		preds[i] = []Detection{{Class: (s.Class + 1) % cfg.Classes, Box: s.Box, Conf: 1}}
+	}
+	if ap := MeanAP(d.Samples, preds, 0.5); ap > 0.01 {
+		t.Fatalf("wrong-class detector mAP = %v, want ~0", ap)
+	}
+}
+
+func TestMeanAPDegradesWithNoise(t *testing.T) {
+	cfg := DefaultBoxes()
+	cfg.Samples = 40
+	d := Boxes(cfg)
+	// Half the predictions are correct, half point at empty corners.
+	preds := make([][]Detection, d.Len())
+	for i, s := range d.Samples {
+		if i%2 == 0 {
+			preds[i] = []Detection{{Class: s.Class, Box: s.Box, Conf: 0.9}}
+		} else {
+			preds[i] = []Detection{{Class: s.Class, Box: Box{CX: 0.01, CY: 0.01, W: 0.01, H: 0.01}, Conf: 0.9}}
+		}
+	}
+	ap := MeanAP(d.Samples, preds, 0.5)
+	if ap <= 0.2 || ap >= 0.9 {
+		t.Fatalf("half-correct detector mAP = %v, expected intermediate", ap)
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Box is an axis-aligned box in normalized image coordinates: center x/y
+// and width/height, each in [0,1].
+type Box struct {
+	CX, CY, W, H float32
+}
+
+// IoU returns the intersection-over-union of two boxes.
+func (b Box) IoU(o Box) float64 {
+	ax0, ay0 := float64(b.CX-b.W/2), float64(b.CY-b.H/2)
+	ax1, ay1 := float64(b.CX+b.W/2), float64(b.CY+b.H/2)
+	bx0, by0 := float64(o.CX-o.W/2), float64(o.CY-o.H/2)
+	bx1, by1 := float64(o.CX+o.W/2), float64(o.CY+o.H/2)
+	ix := math.Max(0, math.Min(ax1, bx1)-math.Max(ax0, bx0))
+	iy := math.Max(0, math.Min(ay1, by1)-math.Max(ay0, by0))
+	inter := ix * iy
+	union := (ax1-ax0)*(ay1-ay0) + (bx1-bx0)*(by1-by0) - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// BoxSample is one detection example: an image with a single object of a
+// known class at a known location.
+type BoxSample struct {
+	X     *tensor.Tensor
+	Class int
+	Box   Box
+}
+
+// BoxDataset is an in-memory single-object detection set.
+type BoxDataset struct {
+	Name    string
+	Samples []BoxSample
+	Classes int
+	C, H, W int
+}
+
+// Len returns the number of samples.
+func (d *BoxDataset) Len() int { return len(d.Samples) }
+
+// Split partitions the set into train/val by prefix.
+func (d *BoxDataset) Split(trainFrac float64) (train, val *BoxDataset) {
+	cut := int(float64(len(d.Samples)) * trainFrac)
+	train = &BoxDataset{Name: d.Name + "/train", Samples: d.Samples[:cut], Classes: d.Classes, C: d.C, H: d.H, W: d.W}
+	val = &BoxDataset{Name: d.Name + "/val", Samples: d.Samples[cut:], Classes: d.Classes, C: d.C, H: d.H, W: d.W}
+	return train, val
+}
+
+// BoxesConfig parameterizes the synthetic detection generator.
+type BoxesConfig struct {
+	Classes int
+	Samples int
+	C, H, W int
+	Noise   float64
+	Seed    uint64
+}
+
+// DefaultBoxes is the detection configuration used by the YOLO-mini
+// experiments: 5 classes on 3×16×16 images.
+func DefaultBoxes() BoxesConfig {
+	return BoxesConfig{Classes: 5, Samples: 300, C: 3, H: 16, W: 16, Noise: 0.1, Seed: 0xC0C0}
+}
+
+// Boxes generates a detection dataset: each image holds background noise
+// plus one rectangle filled with its class's signature texture.
+func Boxes(cfg BoxesConfig) *BoxDataset {
+	rng := tensor.NewRNG(cfg.Seed)
+	protos := make([]*tensor.Tensor, cfg.Classes)
+	for k := 0; k < cfg.Classes; k++ {
+		protos[k] = classPrototype(k+17, cfg.C, cfg.H, cfg.W, rng)
+	}
+	d := &BoxDataset{Name: "boxes", Classes: cfg.Classes, C: cfg.C, H: cfg.H, W: cfg.W}
+	for i := 0; i < cfg.Samples; i++ {
+		class := i % cfg.Classes
+		x := tensor.New(cfg.C, cfg.H, cfg.W)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.Norm() * cfg.Noise)
+		}
+		// Object occupies 30-70% of each dimension.
+		ow := int(float64(cfg.W) * (0.3 + 0.4*rng.Float64()))
+		oh := int(float64(cfg.H) * (0.3 + 0.4*rng.Float64()))
+		x0 := rng.Intn(cfg.W - ow + 1)
+		y0 := rng.Intn(cfg.H - oh + 1)
+		for ch := 0; ch < cfg.C; ch++ {
+			for y := y0; y < y0+oh; y++ {
+				for xx := x0; xx < x0+ow; xx++ {
+					x.Set(protos[class].At(ch, y, xx)+float32(rng.Norm()*cfg.Noise), ch, y, xx)
+				}
+			}
+		}
+		b := Box{
+			CX: (float32(x0) + float32(ow)/2) / float32(cfg.W),
+			CY: (float32(y0) + float32(oh)/2) / float32(cfg.H),
+			W:  float32(ow) / float32(cfg.W),
+			H:  float32(oh) / float32(cfg.H),
+		}
+		d.Samples = append(d.Samples, BoxSample{X: x, Class: class, Box: b})
+	}
+	return d
+}
+
+// Detection is one predicted object with a confidence score.
+type Detection struct {
+	Class int
+	Box   Box
+	Conf  float64
+}
+
+// MeanAP computes mean average precision at the given IoU threshold for a
+// single-object-per-image ground truth. preds[i] holds the detections for
+// sample i of truth.
+func MeanAP(truth []BoxSample, preds [][]Detection, iouThresh float64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	classes := 0
+	for _, t := range truth {
+		if t.Class+1 > classes {
+			classes = t.Class + 1
+		}
+	}
+	var apSum float64
+	var apCount int
+	for c := 0; c < classes; c++ {
+		type scored struct {
+			conf float64
+			tp   bool
+		}
+		var all []scored
+		nGT := 0
+		for i, t := range truth {
+			isGT := t.Class == c
+			if isGT {
+				nGT++
+			}
+			matched := false
+			// Sort this image's class-c detections by confidence so the
+			// best one gets the match.
+			var ds []Detection
+			for _, p := range preds[i] {
+				if p.Class == c {
+					ds = append(ds, p)
+				}
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a].Conf > ds[b].Conf })
+			for _, p := range ds {
+				tp := false
+				if isGT && !matched && p.Box.IoU(t.Box) >= iouThresh {
+					tp = true
+					matched = true
+				}
+				all = append(all, scored{conf: p.Conf, tp: tp})
+			}
+		}
+		if nGT == 0 {
+			continue
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].conf > all[b].conf })
+		// 11-point interpolated AP.
+		tp, fp := 0, 0
+		recalls := make([]float64, 0, len(all))
+		precs := make([]float64, 0, len(all))
+		for _, s := range all {
+			if s.tp {
+				tp++
+			} else {
+				fp++
+			}
+			recalls = append(recalls, float64(tp)/float64(nGT))
+			precs = append(precs, float64(tp)/float64(tp+fp))
+		}
+		var ap float64
+		for _, r := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+			best := 0.0
+			for i := range recalls {
+				if recalls[i] >= r && precs[i] > best {
+					best = precs[i]
+				}
+			}
+			ap += best / 11
+		}
+		apSum += ap
+		apCount++
+	}
+	if apCount == 0 {
+		return 0
+	}
+	return apSum / float64(apCount)
+}

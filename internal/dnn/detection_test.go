@@ -1,0 +1,136 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+func TestDetectionHeadGeometry(t *testing.T) {
+	h := &DetectionHead{Grid: 4, Classes: 5}
+	if h.CellValues() != 10 {
+		t.Fatalf("CellValues = %d", h.CellValues())
+	}
+	if h.OutputSize() != 160 {
+		t.Fatalf("OutputSize = %d", h.OutputSize())
+	}
+}
+
+func TestCellForBoundaries(t *testing.T) {
+	h := &DetectionHead{Grid: 4, Classes: 2}
+	gx, gy, ox, oy := h.cellFor(dataset.Box{CX: 0.99, CY: 0.99, W: 0.1, H: 0.1})
+	if gx != 3 || gy != 3 {
+		t.Fatalf("corner box maps to cell (%d,%d)", gx, gy)
+	}
+	if ox < 0 || ox > 1 || oy < 0 || oy > 1 {
+		t.Fatalf("offsets out of range: %v %v", ox, oy)
+	}
+	gx, gy, _, _ = h.cellFor(dataset.Box{CX: 1.0, CY: 1.0, W: 0.1, H: 0.1})
+	if gx != 3 || gy != 3 {
+		t.Fatalf("boundary box clamps to (%d,%d)", gx, gy)
+	}
+}
+
+func TestYOLOLossGradientNumeric(t *testing.T) {
+	h := &DetectionHead{Grid: 2, Classes: 3}
+	r := tensor.NewRNG(1)
+	out := tensor.New(2, h.OutputSize())
+	out.FillNormal(r, 0.5)
+	samples := []dataset.BoxSample{
+		{Class: 1, Box: dataset.Box{CX: 0.25, CY: 0.25, W: 0.3, H: 0.3}},
+		{Class: 2, Box: dataset.Box{CX: 0.75, CY: 0.75, W: 0.5, H: 0.4}},
+	}
+	_, grad := h.YOLOLoss(out, samples)
+	const eps = 1e-3
+	for _, idx := range []int{0, 1, 5, 9, 16, 31} {
+		orig := out.Data[idx]
+		out.Data[idx] = orig + eps
+		lp, _ := h.YOLOLoss(out, samples)
+		out.Data[idx] = orig - eps
+		lm, _ := h.YOLOLoss(out, samples)
+		out.Data[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data[idx])) > 1e-3*(1+math.Abs(num)) {
+			t.Fatalf("grad[%d]: analytic %v vs numeric %v", idx, grad.Data[idx], num)
+		}
+	}
+}
+
+func TestDecodeFindsConfidentCell(t *testing.T) {
+	h := &DetectionHead{Grid: 2, Classes: 3}
+	out := tensor.New(1, h.OutputSize())
+	out.Fill(-10) // everything silent
+	// Cell (1, 0): strong object, class 2, centered box.
+	base := (0*2 + 1) * h.CellValues()
+	out.Data[base] = 10   // objectness
+	out.Data[base+1] = 0  // cx -> 0.5 in cell
+	out.Data[base+2] = 0  // cy
+	out.Data[base+3] = 0  // w -> 0.5
+	out.Data[base+4] = 0  // h
+	out.Data[base+7] = 10 // class 2
+	dets := h.Decode(out, 0, 0.3)
+	if len(dets) != 1 {
+		t.Fatalf("decoded %d detections, want 1", len(dets))
+	}
+	d := dets[0]
+	if d.Class != 2 {
+		t.Fatalf("class %d, want 2", d.Class)
+	}
+	if math.Abs(float64(d.Box.CX)-0.75) > 1e-6 || math.Abs(float64(d.Box.CY)-0.25) > 1e-6 {
+		t.Fatalf("box center (%v, %v)", d.Box.CX, d.Box.CY)
+	}
+}
+
+func TestDecodeNMSSuppressesDuplicates(t *testing.T) {
+	h := &DetectionHead{Grid: 2, Classes: 1}
+	out := tensor.New(1, h.OutputSize())
+	out.Fill(-10)
+	// Two adjacent cells predicting overlapping boxes of the same class.
+	for _, cell := range []int{0, 1} {
+		base := cell * h.CellValues()
+		out.Data[base] = 5
+		out.Data[base+3] = 3 // large w
+		out.Data[base+4] = 3 // large h
+		out.Data[base+5] = 5
+		if cell == 0 {
+			out.Data[base+1] = 4 // push center right toward cell 1
+		} else {
+			out.Data[base+1] = -4
+		}
+	}
+	dets := h.Decode(out, 0, 0.3)
+	if len(dets) != 1 {
+		t.Fatalf("NMS kept %d detections, want 1", len(dets))
+	}
+}
+
+func TestYOLOTinyLearnsDetection(t *testing.T) {
+	cfg := dataset.DefaultBoxes()
+	cfg.Samples = 150
+	ds := dataset.Boxes(cfg)
+	train, val := ds.Split(0.8)
+	net := buildYOLOTinyMini(tensor.NewRNG(10))
+	TrainDetector(net, train, TrainOptions{Epochs: 15, Batch: 16, LR: 0.01, Seed: 2})
+	ap := net.MAP(val, EvalOptions{})
+	if ap < 0.25 {
+		t.Fatalf("YOLO-Tiny mAP %.3f after training, want >= 0.25", ap)
+	}
+	// An untrained network should be much worse.
+	fresh := buildYOLOTinyMini(tensor.NewRNG(11))
+	apFresh := fresh.MAP(val, EvalOptions{})
+	if apFresh >= ap {
+		t.Fatalf("untrained mAP %.3f >= trained %.3f", apFresh, ap)
+	}
+}
+
+func TestMAPPanicsOnClassifier(t *testing.T) {
+	net := buildLeNet(tensor.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAP on classifier should panic")
+		}
+	}()
+	net.MAP(&dataset.BoxDataset{}, EvalOptions{})
+}

@@ -1,0 +1,289 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// gradCheckLayer compares a layer's analytic input gradient against finite
+// differences of a scalar loss L = ||forward(x)||²/2.
+func gradCheckLayer(t *testing.T, l Layer, x *tensor.Tensor, probes []int, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		out := l.Forward(x, true)
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+	out := l.Forward(x, true)
+	dIn := l.Backward(out.Clone())
+	const eps = 1e-2
+	for _, idx := range probes {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp := loss()
+		x.Data[idx] = orig - eps
+		lm := loss()
+		x.Data[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(dIn.Data[idx])) > tol*(1+math.Abs(num)) {
+			t.Errorf("%s input grad[%d]: analytic %v vs numeric %v", l.Name(), idx, dIn.Data[idx], num)
+		}
+	}
+}
+
+// gradCheckParams does the same for a layer's parameter gradients.
+func gradCheckParams(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		out := l.Forward(x, true)
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+	for _, p := range l.Params() {
+		p.G.Zero()
+	}
+	out := l.Forward(x, true)
+	l.Backward(out.Clone())
+	const eps = 1e-2
+	for _, p := range l.Params() {
+		probes := []int{0}
+		if p.W.Size() > 3 {
+			probes = append(probes, p.W.Size()/2, p.W.Size()-1)
+		}
+		for _, idx := range probes {
+			orig := p.W.Data[idx]
+			p.W.Data[idx] = orig + eps
+			lp := loss()
+			p.W.Data[idx] = orig - eps
+			lm := loss()
+			p.W.Data[idx] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(p.G.Data[idx])) > tol*(1+math.Abs(num)) {
+				t.Errorf("%s param %s[%d]: analytic %v vs numeric %v", l.Name(), p.Name, idx, p.G.Data[idx], num)
+			}
+		}
+	}
+}
+
+func randInput(seed uint64, dims ...int) *tensor.Tensor {
+	x := tensor.New(dims...)
+	x.FillNormal(tensor.NewRNG(seed), 1)
+	return x
+}
+
+func TestFCGradients(t *testing.T) {
+	l := NewFC("fc", 12, 5, tensor.NewRNG(1))
+	x := randInput(2, 3, 12)
+	gradCheckLayer(t, l, x, []int{0, 10, 35}, 0.05)
+	gradCheckParams(t, l, x, 0.05)
+}
+
+func TestConvLayerGradients(t *testing.T) {
+	l := NewConv("conv", 2, 3, 3, tensor.Conv2DParams{Padding: 1}, true, tensor.NewRNG(3))
+	x := randInput(4, 2, 2, 5, 5)
+	gradCheckLayer(t, l, x, []int{0, 25, 99}, 0.05)
+	gradCheckParams(t, l, x, 0.05)
+}
+
+func TestReLUGradients(t *testing.T) {
+	l := &ReLU{LayerName: "relu"}
+	x := randInput(5, 2, 10)
+	out := l.Forward(x, true)
+	for i, v := range x.Data {
+		if v > 0 && out.Data[i] != v {
+			t.Fatalf("positive input %d changed", i)
+		}
+		if v <= 0 && out.Data[i] != 0 {
+			t.Fatalf("negative input %d not clipped", i)
+		}
+	}
+	dOut := randInput(6, 2, 10)
+	dIn := l.Backward(dOut)
+	for i, v := range x.Data {
+		if v > 0 && dIn.Data[i] != dOut.Data[i] {
+			t.Fatal("gradient blocked on active unit")
+		}
+		if v <= 0 && dIn.Data[i] != 0 {
+			t.Fatal("gradient leaked through inactive unit")
+		}
+	}
+}
+
+func TestReLU6Ceiling(t *testing.T) {
+	l := &ReLU{LayerName: "relu6", Ceil: 6}
+	x := tensor.FromSlice([]float32{-1, 3, 10}, 1, 3)
+	out := l.Forward(x, true)
+	want := []float32{0, 3, 6}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("relu6[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+	dIn := l.Backward(tensor.FromSlice([]float32{1, 1, 1}, 1, 3))
+	if dIn.Data[0] != 0 || dIn.Data[1] != 1 || dIn.Data[2] != 0 {
+		t.Fatalf("relu6 gradient %v", dIn.Data)
+	}
+}
+
+func TestBatchNormForwardNormalizes(t *testing.T) {
+	l := NewBatchNorm("bn", 2)
+	x := randInput(7, 8, 2, 4, 4)
+	x.Scale(3)
+	for i := range x.Data {
+		x.Data[i] += 5
+	}
+	out := l.Forward(x, true)
+	// Per channel, output should be ~zero-mean unit-variance.
+	for c := 0; c < 2; c++ {
+		var sum, sq float64
+		n := 0
+		for b := 0; b < 8; b++ {
+			for i := 0; i < 16; i++ {
+				v := float64(out.Data[(b*2+c)*16+i])
+				sum += v
+				sq += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d: mean %v var %v", c, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	l := NewBatchNorm("bn", 2)
+	// Non-trivial gamma/beta.
+	l.Gamma.W.Data[0] = 1.5
+	l.Gamma.W.Data[1] = 0.7
+	l.Beta.W.Data[0] = 0.3
+	x := randInput(8, 4, 2, 3, 3)
+	gradCheckLayer(t, l, x, []int{0, 17, 50}, 0.08)
+	gradCheckParams(t, l, x, 0.08)
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	l := NewBatchNorm("bn", 1)
+	x := randInput(9, 16, 1, 2, 2)
+	for i := 0; i < 50; i++ {
+		l.Forward(x, true)
+	}
+	infOut := l.Forward(x, false)
+	trainOut := l.Forward(x, true)
+	// After many identical batches, running stats converge to batch stats.
+	var maxDiff float64
+	for i := range infOut.Data {
+		d := math.Abs(float64(infOut.Data[i] - trainOut.Data[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.1 {
+		t.Fatalf("inference and train outputs diverge by %v", maxDiff)
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	l := &Dropout{LayerName: "drop", P: 0.5, RNG: tensor.NewRNG(11)}
+	x := tensor.New(1, 1000)
+	x.Fill(1)
+	out := l.Forward(x, true)
+	zeros := 0
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		} else if v != 2 {
+			t.Fatalf("survivor not scaled: %v", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropout zeroed %d of 1000", zeros)
+	}
+	evalOut := l.Forward(x, false)
+	for i := range evalOut.Data {
+		if evalOut.Data[i] != 1 {
+			t.Fatal("dropout altered inference")
+		}
+	}
+}
+
+func TestResidualBlockGradients(t *testing.T) {
+	l := NewResidual("res", 2, 3, 2, tensor.NewRNG(13))
+	x := randInput(14, 2, 2, 4, 4)
+	gradCheckLayer(t, l, x, []int{0, 15, 63}, 0.1)
+	gradCheckParams(t, l, x, 0.12)
+}
+
+func TestResidualIdentityShortcut(t *testing.T) {
+	l := NewResidual("res", 4, 4, 1, tensor.NewRNG(15))
+	if l.Project != nil {
+		t.Fatal("same-shape residual should not project")
+	}
+	x := randInput(16, 1, 4, 4, 4)
+	gradCheckLayer(t, l, x, []int{0, 33}, 0.1)
+}
+
+func TestFireModuleGradients(t *testing.T) {
+	l := NewFire("fire", 4, 2, 3, 3, tensor.NewRNG(17))
+	x := randInput(18, 1, 4, 4, 4)
+	out := l.Forward(x, true)
+	if out.Dim(1) != 6 {
+		t.Fatalf("fire output channels %d, want 6", out.Dim(1))
+	}
+	gradCheckLayer(t, l, x, []int{0, 30, 63}, 0.1)
+	gradCheckParams(t, l, x, 0.1)
+}
+
+func TestDenseBlockGradients(t *testing.T) {
+	l := NewDenseBlock("dense", 3, 2, 3, tensor.NewRNG(19))
+	x := randInput(20, 1, 3, 3, 3)
+	out := l.Forward(x, true)
+	if out.Dim(1) != 3+2*3 {
+		t.Fatalf("dense output channels %d, want 9", out.Dim(1))
+	}
+	if l.OutChannels() != 9 {
+		t.Fatalf("OutChannels = %d", l.OutChannels())
+	}
+	gradCheckLayer(t, l, x, []int{0, 13, 26}, 0.12)
+}
+
+func TestInvertedResidualGradients(t *testing.T) {
+	l := NewInvertedResidual("ir", 3, 3, 1, 2, tensor.NewRNG(21))
+	if !l.UseRes {
+		t.Fatal("stride-1 same-channel block should use the residual")
+	}
+	x := randInput(22, 1, 3, 4, 4)
+	gradCheckLayer(t, l, x, []int{0, 24, 47}, 0.12)
+
+	l2 := NewInvertedResidual("ir2", 3, 5, 2, 2, tensor.NewRNG(23))
+	if l2.UseRes {
+		t.Fatal("strided block must not use the residual")
+	}
+	out := l2.Forward(x, true)
+	if out.Dim(1) != 5 || out.Dim(2) != 2 {
+		t.Fatalf("inverted residual output shape %v", out.Shape())
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	rng := tensor.NewRNG(25)
+	l := &Sequential{LayerName: "seq", Layers: []Layer{
+		NewConv("c", 1, 2, 3, tensor.Conv2DParams{Padding: 1}, true, rng),
+		&ReLU{LayerName: "r"},
+	}}
+	if len(l.Params()) != 2 {
+		t.Fatalf("sequential params %d, want 2", len(l.Params()))
+	}
+	x := randInput(26, 1, 1, 4, 4)
+	gradCheckLayer(t, l, x, []int{0, 8, 15}, 0.08)
+}

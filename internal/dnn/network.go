@@ -1,0 +1,171 @@
+package dnn
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// IFMHook intercepts the input feature map of every top-level layer before
+// it is consumed. EDEN uses it to inject approximate-DRAM bit errors into
+// IFMs as they are loaded from memory; a nil hook is the identity.
+type IFMHook func(layerIdx int, layer Layer, x *tensor.Tensor) *tensor.Tensor
+
+// Network is a sequential composition of layers plus task metadata. The
+// zoo's branching architectures (ResNet, DenseNet, ...) are expressed as
+// composite layers, so a flat layer list suffices.
+type Network struct {
+	ModelName string
+	Layers    []Layer
+	Classes   int
+	// Input geometry.
+	InC, InH, InW int
+	// Detection metadata; nil for classifiers.
+	Det *DetectionHead
+}
+
+// Name returns the model name.
+func (n *Network) Name() string { return n.ModelName }
+
+// Forward runs the network. hook, when non-nil, is applied to each layer's
+// input feature map.
+func (n *Network) Forward(x *tensor.Tensor, train bool, hook IFMHook) *tensor.Tensor {
+	for i, l := range n.Layers {
+		if hook != nil {
+			x = hook(i, l, x)
+		}
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dOut through all layers, accumulating parameter
+// gradients.
+func (n *Network) Backward(dOut *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dOut = n.Layers[i].Backward(dOut)
+	}
+}
+
+// Params returns every trainable tensor in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Size()
+	}
+	return total
+}
+
+// WeightBytes returns the FP32 weight footprint in bytes.
+func (n *Network) WeightBytes() int { return n.ParamCount() * 4 }
+
+// IFMBytes returns the summed FP32 size of all top-level IFMs for a single
+// input, obtained by a dry forward pass.
+func (n *Network) IFMBytes() int {
+	x := tensor.New(1, n.InC, n.InH, n.InW)
+	total := 0
+	n.Forward(x, false, func(_ int, _ Layer, t *tensor.Tensor) *tensor.Tensor {
+		total += t.Size() * 4
+		return t
+	})
+	return total
+}
+
+// argmaxRow returns the index of the largest logit in row i of a rank-2
+// tensor with k columns.
+func argmaxRow(logits *tensor.Tensor, i, k int) int {
+	best := 0
+	for j := 1; j < k; j++ {
+		if logits.At(i, j) > logits.At(i, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits (N,K)
+// against integer labels and the gradient with respect to the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n := logits.Dim(0)
+	probs := tensor.Softmax(logits)
+	var loss float64
+	grad := probs.Clone()
+	for i := 0; i < n; i++ {
+		p := float64(probs.At(i, labels[i]))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Set(grad.At(i, labels[i])-1, i, labels[i])
+	}
+	grad.Scale(1 / float32(n))
+	return loss / float64(n), grad
+}
+
+// EvalOptions controls corrupted evaluation. Corrupt, when non-nil, is
+// applied to the network weights before inference and undone afterwards via
+// the returned restore function; Hook injects errors into IFMs.
+type EvalOptions struct {
+	Batch   int
+	Hook    IFMHook
+	Corrupt func(net *Network) (restore func())
+	// MaxSamples limits evaluation to a prefix of the dataset (0 = all);
+	// the paper samples 10% of the validation set during fine-grained
+	// characterization for the same reason (§6.6).
+	MaxSamples int
+}
+
+// Accuracy evaluates top-1 classification accuracy on ds.
+func (n *Network) Accuracy(ds *dataset.Dataset, opt EvalOptions) float64 {
+	if opt.Batch <= 0 {
+		opt.Batch = 16
+	}
+	if opt.Corrupt != nil {
+		restore := opt.Corrupt(n)
+		defer restore()
+	}
+	total := ds.Len()
+	if opt.MaxSamples > 0 && opt.MaxSamples < total {
+		total = opt.MaxSamples
+	}
+	correct := 0
+	for start := 0; start < total; start += opt.Batch {
+		end := start + opt.Batch
+		if end > total {
+			end = total
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := ds.Batch(idx)
+		logits := n.Forward(x, false, opt.Hook)
+		k := logits.Dim(1)
+		for i := range idx {
+			if argmaxRow(logits, i, k) == labels[i] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

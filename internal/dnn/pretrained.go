@@ -1,0 +1,148 @@
+package dnn
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// TrainedModel bundles a trained network with the datasets it was trained
+// and validated on, plus its reliable-DRAM baseline metric (accuracy for
+// classifiers, mAP for detectors).
+type TrainedModel struct {
+	Spec        ModelSpec
+	Net         *Network
+	TrainSet    *dataset.Dataset
+	ValSet      *dataset.Dataset
+	BoxTrainSet *dataset.BoxDataset
+	BoxValSet   *dataset.BoxDataset
+	BaselineAcc float64
+}
+
+// Metric evaluates the model's task metric under the given options.
+func (m *TrainedModel) Metric(opt EvalOptions) float64 {
+	if m.Spec.Task == Detect {
+		return m.Net.MAP(m.BoxValSet, opt)
+	}
+	return m.Net.Accuracy(m.ValSet, opt)
+}
+
+// CloneNet rebuilds the architecture and copies trained state into it, so
+// callers can corrupt or retrain a copy without touching the cached model.
+func (m *TrainedModel) CloneNet() *Network {
+	fresh := mustBuild(m.Spec.Name)
+	src := m.Net.StateTensors()
+	dst := fresh.StateTensors()
+	for i := range src {
+		copy(dst[i].T.Data, src[i].T.Data)
+	}
+	return fresh
+}
+
+func mustBuild(name string) *Network {
+	n, err := BuildModel(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+var (
+	pretrainMu    sync.Mutex
+	pretrainCache = map[string]*TrainedModel{}
+)
+
+// cacheDir returns the on-disk model cache directory. Training is
+// deterministic, so a cache hit is bit-identical to retraining.
+func cacheDir() string {
+	if d := os.Getenv("EDEN_MODEL_CACHE"); d != "" {
+		return d
+	}
+	return filepath.Join(os.TempDir(), "eden-model-cache")
+}
+
+// Pretrained returns a trained instance of the named zoo model, training it
+// on first use and caching the result both in-process and on disk.
+func Pretrained(name string) (*TrainedModel, error) {
+	pretrainMu.Lock()
+	defer pretrainMu.Unlock()
+	if m, ok := pretrainCache[name]; ok {
+		return m, nil
+	}
+	spec, err := LookupSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	m := &TrainedModel{Spec: spec}
+	if spec.Task == Detect {
+		full := dataset.Boxes(dataset.DefaultBoxes())
+		m.BoxTrainSet, m.BoxValSet = full.Split(0.8)
+	} else {
+		full := dataset.Patterns(dataset.DefaultPatterns())
+		m.TrainSet, m.ValSet = full.Split(0.8)
+	}
+	m.Net = mustBuild(name)
+
+	path := filepath.Join(cacheDir(), fmt.Sprintf("%s-%d.edenmdl", sanitize(name), m.Net.ParamCount()))
+	if f, err := os.Open(path); err == nil {
+		loadErr := m.Net.Load(f)
+		f.Close()
+		if loadErr == nil {
+			m.BaselineAcc = m.Metric(EvalOptions{})
+			pretrainCache[name] = m
+			return m, nil
+		}
+		// Stale or corrupt cache: fall through to retraining.
+		m.Net = mustBuild(name)
+	}
+
+	opt := TrainOptions{Epochs: spec.Epochs, Batch: spec.Batch, LR: spec.LR, Seed: hashName(name)}
+	if spec.Task == Detect {
+		TrainDetector(m.Net, m.BoxTrainSet, opt)
+	} else {
+		TrainClassifier(m.Net, m.TrainSet, opt)
+	}
+	m.BaselineAcc = m.Metric(EvalOptions{})
+
+	if err := os.MkdirAll(cacheDir(), 0o755); err == nil {
+		tmp := path + ".tmp"
+		if f, err := os.Create(tmp); err == nil {
+			saveErr := m.Net.Save(f)
+			f.Close()
+			if saveErr == nil {
+				os.Rename(tmp, path)
+			} else {
+				os.Remove(tmp)
+			}
+		}
+	}
+	pretrainCache[name] = m
+	return m, nil
+}
+
+// MustPretrained is Pretrained for contexts (tests, examples) where a
+// missing model name is a programming error.
+func MustPretrained(name string) *TrainedModel {
+	m, err := Pretrained(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,73 @@
+package dnn
+
+import (
+	"math"
+	"sort"
+)
+
+// PruneMagnitude zeroes the fraction frac of net's weights with the
+// smallest absolute values (global magnitude pruning, §2.1). Biases and
+// batch-norm parameters are exempt, as is conventional. It returns the
+// number of weights zeroed.
+func PruneMagnitude(net *Network, frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	var mags []float32
+	for _, p := range net.Params() {
+		if !prunable(p.Name) {
+			continue
+		}
+		for _, v := range p.W.Data {
+			mags = append(mags, float32(math.Abs(float64(v))))
+		}
+	}
+	if len(mags) == 0 {
+		return 0
+	}
+	sort.Slice(mags, func(i, j int) bool { return mags[i] < mags[j] })
+	k := int(float64(len(mags)) * frac)
+	if k >= len(mags) {
+		k = len(mags) - 1
+	}
+	threshold := mags[k]
+	zeroed := 0
+	for _, p := range net.Params() {
+		if !prunable(p.Name) {
+			continue
+		}
+		for i, v := range p.W.Data {
+			if float32(math.Abs(float64(v))) <= threshold && zeroed < k {
+				p.W.Data[i] = 0
+				zeroed++
+			}
+		}
+	}
+	return zeroed
+}
+
+// prunable reports whether a parameter participates in magnitude pruning.
+func prunable(name string) bool {
+	for _, suffix := range []string{".weight"} {
+		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// Sparsity returns the fraction of zero-valued prunable weights.
+func (n *Network) Sparsity() float64 {
+	total, zeros := 0, 0
+	for _, p := range n.Params() {
+		if !prunable(p.Name) {
+			continue
+		}
+		total += p.W.Size()
+		zeros += p.W.Size() - p.W.CountNonZero()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}

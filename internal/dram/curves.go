@@ -1,0 +1,57 @@
+package dram
+
+import "math"
+
+// VDDForBER returns the lowest supply voltage whose expected voltage-induced
+// BER stays at or below target, quantized to steps (V). This is the
+// analytic inverse of the vendor's calibration curve; Table 3's ΔVDD values
+// come from this inversion of measured behaviour.
+func (p VendorProfile) VDDForBER(target, step float64) float64 {
+	if target <= 0 {
+		return NominalVDD
+	}
+	// log10(target) = VoltOffset + VoltSlope*(NominalVDD - v)
+	v := NominalVDD - (math.Log10(target)-p.VoltOffset)/p.VoltSlope
+	if v > NominalVDD {
+		v = NominalVDD
+	}
+	if step > 0 {
+		// Round up to the nearest step so the BER constraint still holds.
+		v = math.Ceil(v/step-1e-9) * step
+		if v > NominalVDD {
+			v = NominalVDD
+		}
+	}
+	return v
+}
+
+// TRCDForBER returns the lowest tRCD (ns) whose expected latency-induced
+// BER stays at or below target, quantized to steps (ns).
+func (p VendorProfile) TRCDForBER(target, step float64) float64 {
+	nominal := NominalTiming().TRCD
+	if target <= 0 {
+		return nominal
+	}
+	t := p.TRCDOnset - (math.Log10(target)-p.TRCDOffset)/p.TRCDSlope
+	if t > nominal {
+		t = nominal
+	}
+	if step > 0 {
+		t = math.Ceil(t/step-1e-9) * step
+		if t > nominal {
+			t = nominal
+		}
+	}
+	return t
+}
+
+// OpForBER returns an operating point that reduces both voltage and tRCD as
+// far as possible while the combined expected BER stays at or below target.
+// The budget is split evenly between the two mechanisms, matching how the
+// paper reports joint ΔVDD and ΔtRCD per tolerable BER (Table 3).
+func (p VendorProfile) OpForBER(target, vddStep, trcdStep float64) OperatingPoint {
+	op := Nominal()
+	op.VDD = p.VDDForBER(target/2, vddStep)
+	op.Timing.TRCD = p.TRCDForBER(target/2, trcdStep)
+	return op
+}

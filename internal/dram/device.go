@@ -1,0 +1,259 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device is one simulated approximate DRAM module. Writes store data
+// faithfully; reads performed while a partition's operating point is below
+// nominal flip bits on the way out, leaving the stored data intact (the
+// paper's EDEN flow likewise re-profiles rather than assuming persistent
+// corruption, §4).
+//
+// The device is divided into partitions at subarray granularity; each
+// partition has its own operating point, which is how EDEN's fine-grained
+// mapping applies different voltage/latency settings to different DNN data
+// (§3.4, §5).
+type Device struct {
+	Geom    Geometry
+	Profile VendorProfile
+	seed    uint64
+
+	data []byte
+	// partition index per subarray; partition 0 always exists.
+	partOfSubarray []int
+	partitions     []OperatingPoint
+
+	// Deterministic per-read noise: advanced on every Read call.
+	accessCounter uint64
+
+	// Precomputed per-bitline and per-wordline weakness factors.
+	bitlineFactor  []float64
+	wordlineFactor []float64
+
+	// Statistics.
+	readBits  uint64
+	flipCount uint64
+}
+
+// NewDevice creates a module with the given geometry, vendor profile and
+// seed. It starts with a single partition at the nominal operating point.
+func NewDevice(geom Geometry, profile VendorProfile, seed uint64) *Device {
+	d := &Device{
+		Geom:           geom,
+		Profile:        profile,
+		seed:           seed,
+		data:           make([]byte, geom.Capacity()),
+		partOfSubarray: make([]int, geom.Subarrays()),
+		partitions:     []OperatingPoint{Nominal()},
+	}
+	rowBits := geom.RowBytes * 8
+	d.bitlineFactor = make([]float64, rowBits)
+	for i := range d.bitlineFactor {
+		d.bitlineFactor[i] = expFactor(hash3(seed, 0xB17, uint64(i)))
+	}
+	d.wordlineFactor = make([]float64, geom.Rows())
+	for i := range d.wordlineFactor {
+		d.wordlineFactor[i] = expFactor(hash3(seed, 0x10C, uint64(i)))
+	}
+	return d
+}
+
+// expFactor maps a uniform hash to an Exponential(1) sample, giving some
+// bitlines/wordlines/cells much higher failure rates than others.
+func expFactor(u uint64) float64 {
+	f := (float64(u>>11) + 0.5) / float64(1<<53)
+	return -ln(1 - f)
+}
+
+func ln(x float64) float64 {
+	// Thin wrapper so the hot path reads clearly.
+	return math.Log(x)
+}
+
+// hash3 mixes three words with a SplitMix64-style finalizer.
+func hash3(a, b, c uint64) uint64 {
+	z := a ^ b*0x9e3779b97f4a7c15 ^ c*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform converts a hash to a float64 in [0,1).
+func uniform(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Capacity returns the module size in bytes.
+func (d *Device) Capacity() int { return d.Geom.Capacity() }
+
+// DefinePartitions splits the module into n equal partitions of consecutive
+// subarrays, all initially at the nominal operating point. n must divide
+// the subarray count.
+func (d *Device) DefinePartitions(n int) error {
+	if n <= 0 || d.Geom.Subarrays()%n != 0 {
+		return fmt.Errorf("dram: cannot split %d subarrays into %d partitions", d.Geom.Subarrays(), n)
+	}
+	per := d.Geom.Subarrays() / n
+	d.partitions = make([]OperatingPoint, n)
+	for i := range d.partitions {
+		d.partitions[i] = Nominal()
+	}
+	for s := range d.partOfSubarray {
+		d.partOfSubarray[s] = s / per
+	}
+	return nil
+}
+
+// NumPartitions returns the current partition count.
+func (d *Device) NumPartitions() int { return len(d.partitions) }
+
+// PartitionSize returns the byte capacity of one partition.
+func (d *Device) PartitionSize() int { return d.Geom.Capacity() / len(d.partitions) }
+
+// PartitionRange returns the [start, end) byte range of partition p under
+// the device's linear address map (subarray-major).
+func (d *Device) PartitionRange(p int) (start, end int) {
+	size := d.PartitionSize()
+	return p * size, (p + 1) * size
+}
+
+// SetOperatingPoint applies op to every partition (coarse-grained mapping).
+func (d *Device) SetOperatingPoint(op OperatingPoint) {
+	for i := range d.partitions {
+		d.partitions[i] = op
+	}
+}
+
+// SetPartitionOp applies op to a single partition (fine-grained mapping).
+func (d *Device) SetPartitionOp(p int, op OperatingPoint) error {
+	if p < 0 || p >= len(d.partitions) {
+		return fmt.Errorf("dram: partition %d out of range", p)
+	}
+	d.partitions[p] = op
+	return nil
+}
+
+// PartitionOp returns partition p's operating point.
+func (d *Device) PartitionOp(p int) OperatingPoint { return d.partitions[p] }
+
+// addrPartition returns the partition containing a byte address.
+func (d *Device) addrPartition(addr int) int {
+	sub := addr / (d.Geom.RowsPerSubarray * d.Geom.RowBytes)
+	return d.partOfSubarray[sub]
+}
+
+// Write stores data at addr reliably. DRAM writes at reduced parameters can
+// also fail, but like the paper we focus error injection on the read path,
+// which dominates inference traffic.
+func (d *Device) Write(addr int, data []byte) {
+	if addr < 0 || addr+len(data) > len(d.data) {
+		panic(fmt.Sprintf("dram: write [%d, %d) out of range", addr, addr+len(data)))
+	}
+	copy(d.data[addr:], data)
+}
+
+// ReadReliable returns stored bytes without error injection, regardless of
+// the operating point (what an ECC-protected nominal module would return).
+func (d *Device) ReadReliable(addr, n int) []byte {
+	out := make([]byte, n)
+	copy(out, d.data[addr:addr+n])
+	return out
+}
+
+// Read returns n bytes starting at addr, with bit errors injected according
+// to each byte's partition operating point. Each call sees an independent
+// (but deterministic, seed-derived) error draw.
+func (d *Device) Read(addr, n int) []byte {
+	if addr < 0 || addr+n > len(d.data) {
+		panic(fmt.Sprintf("dram: read [%d, %d) out of range", addr, addr+n))
+	}
+	d.accessCounter++
+	out := make([]byte, n)
+	copy(out, d.data[addr:addr+n])
+	rowBytes := d.Geom.RowBytes
+
+	// Cache per-partition base rates for this call.
+	type rates struct{ v, t float64 }
+	partRates := make([]rates, len(d.partitions))
+	for i, op := range d.partitions {
+		v, t := d.Profile.baseBER(op)
+		partRates[i] = rates{v, t}
+	}
+
+	d.readBits += uint64(8 * n)
+	for i := 0; i < n; i++ {
+		a := addr + i
+		pr := partRates[d.addrPartition(a)]
+		if pr.v == 0 && pr.t == 0 {
+			continue
+		}
+		// Importance-sampled skip: gate each byte with probability
+		// min(1, bound) where bound overestimates the byte's total flip
+		// probability (spatial factors are Exponential(1); 32 bounds all
+		// but an e^-32 tail), then rescale the surviving bits' flip
+		// probabilities by 1/bound so the marginal rate is unchanged.
+		gateScale := 1.0
+		maxByteProb := 8 * (pr.v*d.Profile.VoltOneBias + pr.t*d.Profile.TRCDZeroBias) * 32
+		if maxByteProb < 1 {
+			if uniform(hash3(d.seed, d.accessCounter*0x51ee7, uint64(a))) >= maxByteProb {
+				continue
+			}
+			gateScale = 1 / maxByteProb
+		}
+		row := a / rowBytes
+		for bit := 0; bit < 8; bit++ {
+			bitline := (a%rowBytes)*8 + bit
+			stored := out[i]>>uint(bit)&1 == 1
+			p := d.flipProb(pr.v, pr.t, row, bitline, uint64(a)*8+uint64(bit), stored) * gateScale
+			if p <= 0 {
+				continue
+			}
+			u := uniform(hash3(d.seed^0xF11F, d.accessCounter, uint64(a)*8+uint64(bit)))
+			if u < p {
+				out[i] ^= 1 << uint(bit)
+				d.flipCount++
+			}
+		}
+	}
+	return out
+}
+
+// flipProb computes one cell's flip probability for this access.
+func (d *Device) flipProb(vBER, tBER float64, row, bitline int, cellID uint64, stored bool) float64 {
+	// Data-direction bias: stored 1s fail more under voltage stress, stored
+	// 0s fail more under tRCD stress. Biases are normalized so uniform data
+	// sees the base rate: bias applies to one polarity, 2-bias to the other.
+	var v, t float64
+	if stored {
+		v = vBER * d.Profile.VoltOneBias
+		t = tBER * (2 - d.Profile.TRCDZeroBias)
+	} else {
+		v = vBER * (2 - d.Profile.VoltOneBias)
+		t = tBER * d.Profile.TRCDZeroBias
+	}
+	rate := v + t
+	if rate <= 0 {
+		return 0
+	}
+	// Spatial structure: blend per-cell, per-bitline and per-wordline
+	// Exponential(1) weakness factors by the vendor's mix.
+	bw, ww := d.Profile.BitlineWeight, d.Profile.WordlineWeight
+	cellF := expFactor(hash3(d.seed, 0xCE11, cellID))
+	m := (1-bw-ww)*cellF + bw*d.bitlineFactor[bitline] + ww*d.wordlineFactor[row]
+	p := rate * m
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}
+
+// Stats returns the number of bits read with error injection active and the
+// number of flips injected so far.
+func (d *Device) Stats() (readBits, flips uint64) { return d.readBits, d.flipCount }
+
+// ResetStats clears the read/flip counters.
+func (d *Device) ResetStats() { d.readBits, d.flipCount = 0, 0 }

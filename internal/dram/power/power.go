@@ -1,0 +1,100 @@
+// Package power is a command-counting DRAM energy model in the style of
+// DRAMPower, which the paper uses to estimate DRAM energy from memory
+// traces (§7.1). Energy is the sum of per-command array energies plus
+// time-proportional background and refresh power. The fraction of energy
+// that scales with the square of the supply voltage is calibrated so that
+// the paper's reported savings are reproduced at the paper's ΔVDD values.
+package power
+
+import "fmt"
+
+// Config holds per-command energies (nJ), background power (W) and voltage
+// scaling behaviour for one DRAM technology.
+type Config struct {
+	Name string
+	// Per-command energies at nominal voltage, in nJ.
+	EAct   float64 // one ACT+PRE pair
+	ERead  float64 // one 64-byte read burst
+	EWrite float64 // one 64-byte write burst
+	// Background and refresh power in watts (nJ per ns).
+	PBackground float64
+	PRefresh    float64
+	// NominalVDD is the datasheet supply voltage.
+	NominalVDD float64
+	// VddScalableFrac is the fraction of every energy component that
+	// scales with (VDD/nominal)²; the remainder (I/O drivers, peripheral
+	// logic on separate rails) does not scale.
+	VddScalableFrac float64
+}
+
+// DDR4 returns representative DDR4-2400 x8 energy parameters.
+func DDR4() Config {
+	return Config{
+		Name:            "DDR4-2400",
+		EAct:            1.7,
+		ERead:           1.2,
+		EWrite:          1.3,
+		PBackground:     0.12,
+		PRefresh:        0.03,
+		NominalVDD:      1.35,
+		VddScalableFrac: 0.69,
+	}
+}
+
+// LPDDR3 returns representative LPDDR3-1600 energy parameters. Its lower
+// nominal voltage leaves less headroom for reduction, which is why the
+// paper's LPDDR3 savings (21%) are smaller than DDR4's (§7.2).
+func LPDDR3() Config {
+	return Config{
+		Name:            "LPDDR3-1600",
+		EAct:            1.1,
+		ERead:           0.7,
+		EWrite:          0.8,
+		PBackground:     0.05,
+		PRefresh:        0.02,
+		NominalVDD:      1.2,
+		VddScalableFrac: 0.69,
+	}
+}
+
+// Counts aggregates the DRAM command activity of one workload execution.
+type Counts struct {
+	Act    uint64  // ACT+PRE pairs (row-buffer misses)
+	Reads  uint64  // 64-byte read bursts
+	Writes uint64  // 64-byte write bursts
+	TimeNS float64 // execution time for background/refresh energy
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Act += other.Act
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.TimeNS += other.TimeNS
+}
+
+// Energy returns the total DRAM energy in nJ at supply voltage vdd.
+func (cfg Config) Energy(c Counts, vdd float64) float64 {
+	if vdd <= 0 {
+		panic(fmt.Sprintf("power: non-positive VDD %v", vdd))
+	}
+	base := float64(c.Act)*cfg.EAct +
+		float64(c.Reads)*cfg.ERead +
+		float64(c.Writes)*cfg.EWrite +
+		c.TimeNS*(cfg.PBackground+cfg.PRefresh)
+	ratio := vdd / cfg.NominalVDD
+	scale := cfg.VddScalableFrac*ratio*ratio + (1 - cfg.VddScalableFrac)
+	return base * scale
+}
+
+// Savings returns the fractional DRAM energy reduction of running counts c
+// at reduced voltage (and possibly reduced time) versus nominal counts at
+// nominal voltage.
+func (cfg Config) Savings(nominal, reduced Counts, reducedVDD float64) float64 {
+	e0 := cfg.Energy(nominal, cfg.NominalVDD)
+	e1 := cfg.Energy(reduced, reducedVDD)
+	if e0 == 0 {
+		return 0
+	}
+	return 1 - e1/e0
+}

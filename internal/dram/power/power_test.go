@@ -1,0 +1,86 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyComponentsAdditive(t *testing.T) {
+	cfg := DDR4()
+	base := cfg.Energy(Counts{}, cfg.NominalVDD)
+	if base != 0 {
+		t.Fatalf("empty counts consume %v nJ", base)
+	}
+	eAct := cfg.Energy(Counts{Act: 10}, cfg.NominalVDD)
+	if math.Abs(eAct-10*cfg.EAct) > 1e-9 {
+		t.Fatalf("10 ACTs = %v nJ, want %v", eAct, 10*cfg.EAct)
+	}
+	eAll := cfg.Energy(Counts{Act: 1, Reads: 2, Writes: 3, TimeNS: 100}, cfg.NominalVDD)
+	want := cfg.EAct + 2*cfg.ERead + 3*cfg.EWrite + 100*(cfg.PBackground+cfg.PRefresh)
+	if math.Abs(eAll-want) > 1e-9 {
+		t.Fatalf("combined = %v, want %v", eAll, want)
+	}
+}
+
+func TestVoltageScalingQuadratic(t *testing.T) {
+	cfg := DDR4()
+	c := Counts{Reads: 1000, TimeNS: 1000}
+	eNom := cfg.Energy(c, cfg.NominalVDD)
+	eLow := cfg.Energy(c, 1.0)
+	ratio := 1.0 / cfg.NominalVDD
+	wantScale := cfg.VddScalableFrac*ratio*ratio + (1 - cfg.VddScalableFrac)
+	if math.Abs(eLow/eNom-wantScale) > 1e-9 {
+		t.Fatalf("scale = %v, want %v", eLow/eNom, wantScale)
+	}
+	if eLow >= eNom {
+		t.Fatal("voltage reduction did not save energy")
+	}
+}
+
+func TestPaperCalibrationDDR4(t *testing.T) {
+	// At the paper's most aggressive ΔVDD (-0.35V), DDR4 savings should be
+	// in the ~30% band the accelerators report (§7.2).
+	cfg := DDR4()
+	c := Counts{Act: 1000, Reads: 50000, Writes: 10000, TimeNS: 1e6}
+	s := cfg.Savings(c, c, 1.0)
+	if s < 0.25 || s > 0.40 {
+		t.Fatalf("DDR4 savings at 1.0V = %.3f, want ~0.31", s)
+	}
+}
+
+func TestPaperCalibrationLPDDR3(t *testing.T) {
+	// LPDDR3 has less voltage headroom; the paper reports ~21% savings.
+	cfg := LPDDR3()
+	c := Counts{Act: 1000, Reads: 50000, Writes: 10000, TimeNS: 1e6}
+	s := cfg.Savings(c, c, 1.0)
+	if s < 0.15 || s > 0.28 {
+		t.Fatalf("LPDDR3 savings at 1.0V = %.3f, want ~0.21", s)
+	}
+}
+
+func TestReducedTimeSavesBackgroundEnergy(t *testing.T) {
+	cfg := DDR4()
+	slow := Counts{Reads: 1000, TimeNS: 2e6}
+	fast := Counts{Reads: 1000, TimeNS: 1.5e6}
+	s := cfg.Savings(slow, fast, cfg.NominalVDD)
+	if s <= 0 {
+		t.Fatalf("faster execution saved %v", s)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Act: 1, Reads: 2, Writes: 3, TimeNS: 4}
+	a.Add(Counts{Act: 10, Reads: 20, Writes: 30, TimeNS: 40})
+	if a.Act != 11 || a.Reads != 22 || a.Writes != 33 || a.TimeNS != 44 {
+		t.Fatalf("Add got %+v", a)
+	}
+}
+
+func TestBadVDDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero VDD should panic")
+		}
+	}()
+	DDR4().Energy(Counts{}, 0)
+}

@@ -1,0 +1,52 @@
+package dram
+
+import "math"
+
+// NominalRefreshMS is the DDR4 standard 64 ms refresh window.
+const NominalRefreshMS = 64.0
+
+// RetentionBER returns the expected bit error rate induced by stretching
+// the refresh interval to refreshMS, on top of any voltage/latency errors.
+// DRAM retention times follow a heavy-tailed distribution: almost all cells
+// retain for seconds, but a small weak-cell population leaks within
+// hundreds of milliseconds (§2.3's refresh-reduction citations: RAIDR,
+// AVATAR, REAPER). The model is log-linear in the interval ratio,
+// calibrated so 64 ms is error-free in practice (1e-12), 4x stretching
+// stays below 1e-6 (the regime refresh-reduction papers exploit), and
+// second-scale intervals reach the 1e-4 range.
+func (p VendorProfile) RetentionBER(refreshMS float64) float64 {
+	if refreshMS <= NominalRefreshMS {
+		return 0
+	}
+	ratio := refreshMS / NominalRefreshMS
+	logBER := -12 + 3*math.Log2(ratio)
+	ber := math.Pow(10, logBER)
+	if ber > 0.5 {
+		return 0.5
+	}
+	return ber
+}
+
+// RefreshEnergyFrac returns the fraction of nominal refresh energy spent
+// when refreshing every refreshMS instead of every 64 ms: refresh energy is
+// inversely proportional to the interval.
+func RefreshEnergyFrac(refreshMS float64) float64 {
+	if refreshMS <= 0 {
+		return 1
+	}
+	return NominalRefreshMS / refreshMS
+}
+
+// RefreshForBER inverts RetentionBER: the longest refresh interval (ms)
+// whose retention-induced BER stays at or below target.
+func (p VendorProfile) RefreshForBER(target float64) float64 {
+	if target <= 0 {
+		return NominalRefreshMS
+	}
+	// log10(target) = -12 + 3*log2(ratio)
+	log2ratio := (math.Log10(target) + 12) / 3
+	if log2ratio < 0 {
+		return NominalRefreshMS
+	}
+	return NominalRefreshMS * math.Pow(2, log2ratio)
+}

@@ -1,0 +1,62 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRetentionBERNominalIsZero(t *testing.T) {
+	v := Vendors()[0]
+	if ber := v.RetentionBER(64); ber != 0 {
+		t.Fatalf("nominal refresh BER %v", ber)
+	}
+	if ber := v.RetentionBER(32); ber != 0 {
+		t.Fatal("faster refresh should be error-free")
+	}
+}
+
+func TestRetentionBERMonotone(t *testing.T) {
+	v := Vendors()[0]
+	last := -1.0
+	for _, ms := range []float64{64, 128, 256, 512, 2048} {
+		ber := v.RetentionBER(ms)
+		if ber < last {
+			t.Fatalf("retention BER not monotone at %vms", ms)
+		}
+		last = ber
+	}
+	// 4x stretch stays in the refresh-reduction papers' safe regime.
+	if ber := v.RetentionBER(256); ber > 1e-6 {
+		t.Fatalf("4x stretch BER %v, expected below 1e-6", ber)
+	}
+}
+
+func TestRefreshEnergyFrac(t *testing.T) {
+	if f := RefreshEnergyFrac(64); f != 1 {
+		t.Fatalf("nominal frac %v", f)
+	}
+	if f := RefreshEnergyFrac(256); math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("4x stretch frac %v, want 0.25", f)
+	}
+	if f := RefreshEnergyFrac(0); f != 1 {
+		t.Fatalf("degenerate interval frac %v", f)
+	}
+}
+
+func TestRefreshForBERInverts(t *testing.T) {
+	v := Vendors()[0]
+	for _, target := range []float64{1e-8, 1e-6, 1e-4} {
+		ms := v.RefreshForBER(target)
+		if ms <= NominalRefreshMS {
+			t.Fatalf("target %v gave nominal interval", target)
+		}
+		// The returned interval's BER must respect the target (allowing
+		// for the slightly conservative inversion slope).
+		if ber := v.RetentionBER(ms); ber > target*1.01 {
+			t.Fatalf("interval %vms has BER %v above target %v", ms, ber, target)
+		}
+	}
+	if ms := v.RefreshForBER(0); ms != NominalRefreshMS {
+		t.Fatalf("zero target gave %vms", ms)
+	}
+}

@@ -1,0 +1,148 @@
+package eden
+
+import (
+	"math"
+
+	"repro/internal/dnn"
+	"repro/internal/errormodel"
+	"repro/internal/quant"
+)
+
+// CharacterizeConfig controls DNN error tolerance characterization (§3.3).
+type CharacterizeConfig struct {
+	// MaxDrop is the tolerated absolute drop in the task metric relative
+	// to the reliable-DRAM baseline (the paper's headline target is 1%).
+	MaxDrop float64
+	// MaxSamples caps evaluation to a validation prefix, the paper's 10%
+	// sampling trick (§6.6). Zero evaluates everything.
+	MaxSamples int
+	// Repeats averages the metric over several transient error draws to
+	// de-noise the probe.
+	Repeats int
+	// BERLo and BERHi bound the log-scale binary search.
+	BERLo, BERHi float64
+	// SearchSteps is the binary search depth.
+	SearchSteps int
+	Prec        quant.Precision
+}
+
+// DefaultCharacterize returns the configuration used by the experiments.
+func DefaultCharacterize() CharacterizeConfig {
+	return CharacterizeConfig{
+		MaxDrop:     0.01,
+		MaxSamples:  60,
+		Repeats:     2,
+		BERLo:       1e-5,
+		BERHi:       0.5,
+		SearchSteps: 10,
+		Prec:        quant.FP32,
+	}
+}
+
+// evalAt measures net's mean task metric at a BER, averaged over Repeats
+// transient draws.
+func evalAt(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, ber float64, cfg CharacterizeConfig, berByData map[string]float64) float64 {
+	reps := cfg.Repeats
+	if reps <= 0 {
+		reps = 1
+	}
+	var sum float64
+	for r := 0; r < reps; r++ {
+		corr := NewSoftwareDRAM(m, cfg.Prec)
+		corr.BER = ber
+		corr.BERByData = berByData
+		corr.CalibrateNet(tm, net, 16, 0)
+		for i := 0; i < r; i++ {
+			corr.NextPass()
+		}
+		opt := corr.EvalOptions(cfg.MaxSamples)
+		if tm.Spec.Task == dnn.Detect {
+			sum += net.MAP(tm.BoxValSet, opt)
+		} else {
+			sum += net.Accuracy(tm.ValSet, opt)
+		}
+	}
+	return sum / float64(reps)
+}
+
+// baselineMetric returns net's metric on reliable DRAM, respecting the
+// sampling cap so the comparison is apples-to-apples.
+func baselineMetric(tm *dnn.TrainedModel, net *dnn.Network, cfg CharacterizeConfig) float64 {
+	opt := dnn.EvalOptions{MaxSamples: cfg.MaxSamples}
+	if tm.Spec.Task == dnn.Detect {
+		return net.MAP(tm.BoxValSet, opt)
+	}
+	return net.Accuracy(tm.ValSet, opt)
+}
+
+// CoarseCharacterize finds the highest uniform BER net tolerates while its
+// metric stays within cfg.MaxDrop of its reliable baseline, by log-scale
+// binary search (§3.3, "Coarse-Grained Characterization"). It returns the
+// maximum tolerable BER, or 0 when even BERLo fails.
+func CoarseCharacterize(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, cfg CharacterizeConfig) float64 {
+	floor := baselineMetric(tm, net, cfg) - cfg.MaxDrop
+	ok := func(ber float64) bool {
+		return evalAt(tm, net, m, ber, cfg, nil) >= floor
+	}
+	if !ok(cfg.BERLo) {
+		return 0
+	}
+	if ok(cfg.BERHi) {
+		return cfg.BERHi
+	}
+	lo, hi := math.Log10(cfg.BERLo), math.Log10(cfg.BERHi)
+	for i := 0; i < cfg.SearchSteps; i++ {
+		mid := (lo + hi) / 2
+		if ok(math.Pow(10, mid)) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Pow(10, lo)
+}
+
+// FineCharacterize finds a per-data-type tolerable BER map (§3.3,
+// "Fine-Grained Characterization"): every weight tensor and IFM starts at
+// the coarse BER (the paper's bootstrap), then a sweep repeatedly tries to
+// raise each data type's rate by a multiplicative increment, dropping data
+// types from the sweep list once they fail. maxRounds bounds the sweep.
+func FineCharacterize(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, coarseBER float64, cfg CharacterizeConfig, maxRounds int) map[string]float64 {
+	if coarseBER <= 0 {
+		coarseBER = cfg.BERLo
+	}
+	floor := baselineMetric(tm, net, cfg) - cfg.MaxDrop
+	data := EnumerateData(net, cfg.Prec)
+	tol := make(map[string]float64, len(data))
+	for _, d := range data {
+		tol[d.ID] = coarseBER
+	}
+	// Sweep list: data types still accepting increases. The increment is
+	// the linear-scale 0.5-of-bootstrap step the paper describes (§6.6).
+	step := coarseBER * 0.5
+	live := make([]string, 0, len(data))
+	for _, d := range data {
+		live = append(live, d.ID)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 6
+	}
+	for round := 0; round < maxRounds && len(live) > 0; round++ {
+		var next []string
+		for _, id := range live {
+			trial := tol[id] + step
+			if trial > cfg.BERHi {
+				continue
+			}
+			tol[id] = trial
+			metric := evalAt(tm, net, m, coarseBER, cfg, tol)
+			if metric >= floor {
+				next = append(next, id)
+			} else {
+				tol[id] = trial - step
+			}
+		}
+		live = next
+	}
+	return tol
+}

@@ -1,0 +1,390 @@
+// Package eden implements the paper's contribution: a framework that runs
+// DNN inference on approximate DRAM while meeting a target accuracy. Its
+// three steps are curricular retraining (§3.2, retrain.go), DNN error
+// tolerance characterization (§3.3, characterize.go) and DNN-to-DRAM
+// mapping (§3.4, mapping.go); corruptor.go provides the machinery that
+// exposes a DNN to approximate-DRAM bit errors either through fitted error
+// models (EDEN offloading, §4) or through a simulated device (the
+// device-in-the-loop path of §6.4).
+package eden
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dnn"
+	"repro/internal/dram"
+	"repro/internal/errormodel"
+	"repro/internal/memctrl"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// WeightID and IFMID name the two DNN data kinds EDEN characterizes and
+// maps independently (§3.3). A weight ID refers to one parameter tensor; an
+// IFM ID refers to the input feature map of one top-level layer.
+func WeightID(param string) string { return "w:" + param }
+
+// IFMID returns the data ID of a layer's input feature map.
+func IFMID(layer string) string { return "ifm:" + layer }
+
+// DataDesc describes one mappable DNN data type.
+type DataDesc struct {
+	ID   string
+	Bits int // storage footprint at the working precision
+}
+
+// EnumerateData lists every weight tensor and top-level IFM of net with its
+// footprint at precision prec, in deterministic order (weights first, then
+// IFMs in layer order).
+func EnumerateData(net *dnn.Network, prec quant.Precision) []DataDesc {
+	var out []DataDesc
+	for _, p := range net.Params() {
+		out = append(out, DataDesc{ID: WeightID(p.Name), Bits: p.W.Size() * prec.Bits()})
+	}
+	x := tensor.New(1, net.InC, net.InH, net.InW)
+	net.Forward(x, false, func(i int, l dnn.Layer, t *tensor.Tensor) *tensor.Tensor {
+		out = append(out, DataDesc{ID: IFMID(l.Name()), Bits: t.Size() * prec.Bits()})
+		return t
+	})
+	return out
+}
+
+// Corruptor exposes a DNN to approximate-DRAM errors: CorruptWeights
+// mutates the network's weights as stored in approximate memory (returning
+// an undo), and IFMHook corrupts feature maps in flight.
+type Corruptor interface {
+	CorruptWeights(net *dnn.Network) (restore func())
+	IFMHook() dnn.IFMHook
+	// NextPass advances transient error draws; call once per evaluation or
+	// training batch.
+	NextPass()
+}
+
+// SoftwareDRAM is the EDEN-offloading corruptor (§4): it injects errors
+// from a fitted error model instead of a physical device, optionally with
+// per-data BER overrides from fine-grained characterization, and corrects
+// implausible values with the §5 bounding logic.
+type SoftwareDRAM struct {
+	Model  *errormodel.Model
+	Prec   quant.Precision
+	Policy memctrl.Policy
+	// BER is the uniform (coarse-grained) bit error rate; zero means use
+	// the model's own fitted aggregate.
+	BER float64
+	// BERByData overrides BER per data ID (fine-grained mapping).
+	BERByData map[string]float64
+	// ForceQuant applies the quantize→dequantize round trip even at zero
+	// BER, so the corruptor doubles as a pure quantization evaluator
+	// (Table 2's baseline accuracies).
+	ForceQuant bool
+	// Bounds holds plausibility ranges per data ID (see Calibrate).
+	Bounds map[string]memctrl.Bounds
+	// Logic counts corrections across the run.
+	Logic memctrl.BoundingLogic
+
+	offsets   map[string]int
+	weakPos   map[string][]int32
+	weakSpan  map[string]int
+	nextBit   int
+	passCount uint64
+}
+
+// NewSoftwareDRAM builds a corruptor around a fitted model at the given
+// precision with the zeroing policy.
+func NewSoftwareDRAM(m *errormodel.Model, prec quant.Precision) *SoftwareDRAM {
+	s := &SoftwareDRAM{
+		Model:    m,
+		Prec:     prec,
+		Policy:   memctrl.Zero,
+		Bounds:   map[string]memctrl.Bounds{},
+		offsets:  map[string]int{},
+		weakPos:  map[string][]int32{},
+		weakSpan: map[string]int{},
+	}
+	s.Logic = memctrl.BoundingLogic{Policy: memctrl.Zero}
+	return s
+}
+
+// SetPolicy changes the implausible-value correction policy.
+func (s *SoftwareDRAM) SetPolicy(p memctrl.Policy) {
+	s.Policy = p
+	s.Logic.Policy = p
+}
+
+// berFor returns the BER to apply to one data ID.
+func (s *SoftwareDRAM) berFor(id string) float64 {
+	if b, ok := s.BERByData[id]; ok {
+		return b
+	}
+	if s.BER > 0 {
+		return s.BER
+	}
+	return s.Model.AggregateBER()
+}
+
+// offsetFor assigns (once) a stable DRAM bit offset to a data ID so that
+// different tensors occupy different rows of the modelled module.
+func (s *SoftwareDRAM) offsetFor(id string, bits int) int {
+	if off, ok := s.offsets[id]; ok {
+		return off
+	}
+	off := s.nextBit
+	s.offsets[id] = off
+	// Round up to a row boundary so tensors do not share rows.
+	rows := (bits + s.Model.RowBits - 1) / s.Model.RowBits
+	s.nextBit += rows * s.Model.RowBits
+	return off
+}
+
+// corruptTensor pushes one tensor through the modelled approximate DRAM:
+// quantize, inject model errors at the data's BER, correct implausible
+// values, dequantize.
+func (s *SoftwareDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor {
+	ber := s.berFor(id)
+	if ber <= 0 && !s.ForceQuant {
+		return t
+	}
+	q := quant.Quantize(t, s.Prec)
+	if ber <= 0 {
+		return q.Dequantize()
+	}
+	scaled := s.Model.ScaledTo(ber)
+	inj := errormodel.Injector{Model: scaled}
+	// Keep transient draws aligned with the corruptor's pass counter.
+	inj.SetPass(s.passCount)
+	off := s.offsetFor(id, q.NumBits())
+	// Weak-cell locations depend only on the model's seed and P, not on
+	// the scaled flip rates, so they are computed once per data ID. IFM
+	// tensors shrink on partial batches: the cached (ascending) list is
+	// cut to the current span, and recomputed if the span grew.
+	nbits := q.NumBits()
+	weak, ok := s.weakPos[id]
+	if !ok || s.weakSpan[id] < nbits {
+		weak = inj.WeakPositions(nbits, off)
+		s.weakPos[id] = weak
+		s.weakSpan[id] = nbits
+	}
+	cut := sort.Search(len(weak), func(i int) bool { return int(weak[i]) >= nbits })
+	inj.InjectWeak(q, off, weak[:cut])
+	if b, ok := s.Bounds[id]; ok {
+		s.Logic.CorrectQTensor(q, b)
+	} else if s.Policy != memctrl.Off {
+		// Fall back to bounds derived from the clean tensor, matching how
+		// weight thresholds are computed at training time (§3.2).
+		s.Logic.CorrectQTensor(q, memctrl.FromTensor(t, 1.5))
+	}
+	return q.Dequantize()
+}
+
+// NextPass advances the transient error draw.
+func (s *SoftwareDRAM) NextPass() { s.passCount++ }
+
+// CorruptWeights overwrites every parameter with its approximate-DRAM image
+// and returns a function that restores the clean weights.
+func (s *SoftwareDRAM) CorruptWeights(net *dnn.Network) (restore func()) {
+	params := net.Params()
+	saved := make([][]float32, len(params))
+	for i, p := range params {
+		saved[i] = append([]float32(nil), p.W.Data...)
+		corrupted := s.corruptTensor(p.W, WeightID(p.Name))
+		copy(p.W.Data, corrupted.Data)
+	}
+	return func() {
+		for i, p := range params {
+			copy(p.W.Data, saved[i])
+		}
+	}
+}
+
+// IFMHook returns a hook that corrupts each layer's input feature map.
+func (s *SoftwareDRAM) IFMHook() dnn.IFMHook {
+	return func(i int, l dnn.Layer, x *tensor.Tensor) *tensor.Tensor {
+		return s.corruptTensor(x, IFMID(l.Name()))
+	}
+}
+
+// Calibrate records plausibility bounds for every data ID from clean data:
+// weight bounds from the parameters themselves and IFM bounds from a clean
+// forward pass over up to maxSamples dataset samples. The margin stretches
+// observed ranges, defaulting to 1.5 when zero.
+func (s *SoftwareDRAM) Calibrate(tm *dnn.TrainedModel, maxSamples int, margin float32) {
+	s.CalibrateNet(tm, tm.Net, maxSamples, margin)
+}
+
+// CalibrateNet is Calibrate against an explicit network — used when the
+// network under test is a boosted copy whose weight ranges have drifted
+// from the cached baseline (thresholds must describe the network actually
+// being run, §3.2).
+func (s *SoftwareDRAM) CalibrateNet(tm *dnn.TrainedModel, net *dnn.Network, maxSamples int, margin float32) {
+	if margin == 0 {
+		margin = 1.5
+	}
+	for _, p := range net.Params() {
+		s.Bounds[WeightID(p.Name)] = memctrl.FromTensor(p.W, margin)
+	}
+	maxAbs := map[string]float32{}
+	hook := func(i int, l dnn.Layer, x *tensor.Tensor) *tensor.Tensor {
+		id := IFMID(l.Name())
+		if m := x.MaxAbs(); m > maxAbs[id] {
+			maxAbs[id] = m
+		}
+		return x
+	}
+	opt := dnn.EvalOptions{Hook: hook, MaxSamples: maxSamples}
+	if tm.Spec.Task == dnn.Detect {
+		net.MAP(tm.BoxValSet, opt)
+	} else {
+		net.Accuracy(tm.ValSet, opt)
+	}
+	for id, m := range maxAbs {
+		if m == 0 {
+			m = 1
+		}
+		s.Bounds[id] = memctrl.Bounds{Lo: -m * margin, Hi: m * margin}
+	}
+}
+
+// EvalOptions bundles the corruptor into dnn evaluation options.
+func (s *SoftwareDRAM) EvalOptions(maxSamples int) dnn.EvalOptions {
+	return dnn.EvalOptions{
+		Hook:       s.IFMHook(),
+		Corrupt:    s.CorruptWeights,
+		MaxSamples: maxSamples,
+	}
+}
+
+// DeviceDRAM is the device-in-the-loop corruptor: tensors are packed into a
+// simulated approximate module, written, and read back at the module's
+// operating point — the path the paper uses to validate its error models
+// against real hardware (§6.2, §6.4).
+type DeviceDRAM struct {
+	Device *dram.Device
+	Prec   quant.Precision
+	Policy memctrl.Policy
+	Bounds map[string]memctrl.Bounds
+	Logic  memctrl.BoundingLogic
+	// Placement maps data IDs to device byte addresses; Place allocates.
+	Placement map[string]int
+	nextAddr  int
+}
+
+// NewDeviceDRAM builds a device-backed corruptor.
+func NewDeviceDRAM(d *dram.Device, prec quant.Precision) *DeviceDRAM {
+	return &DeviceDRAM{
+		Device:    d,
+		Prec:      prec,
+		Policy:    memctrl.Zero,
+		Bounds:    map[string]memctrl.Bounds{},
+		Logic:     memctrl.BoundingLogic{Policy: memctrl.Zero},
+		Placement: map[string]int{},
+	}
+}
+
+// place allocates row-aligned space for a data ID.
+func (c *DeviceDRAM) place(id string, bytes int) (int, error) {
+	if addr, ok := c.Placement[id]; ok {
+		return addr, nil
+	}
+	rb := c.Device.Geom.RowBytes
+	rows := (bytes + rb - 1) / rb
+	addr := c.nextAddr
+	if addr+rows*rb > c.Device.Capacity() {
+		// Wrap around: the scaled-down module is smaller than some models'
+		// footprints; reusing rows preserves error statistics.
+		c.nextAddr = 0
+		addr = 0
+		if rows*rb > c.Device.Capacity() {
+			return 0, fmt.Errorf("eden: tensor %s (%d B) exceeds module capacity", id, bytes)
+		}
+	}
+	c.Placement[id] = addr
+	c.nextAddr = addr + rows*rb
+	return addr, nil
+}
+
+// PlaceInPartition pins a data ID into the given device partition,
+// allocating from the partition's base. Fine-grained mapping uses this to
+// realize an Algorithm-1 assignment on the device.
+func (c *DeviceDRAM) PlaceInPartition(id string, bytes, partition int, partitionOffset int) error {
+	start, end := c.Device.PartitionRange(partition)
+	addr := start + partitionOffset
+	if addr+bytes > end {
+		return fmt.Errorf("eden: %s does not fit partition %d at offset %d", id, partition, partitionOffset)
+	}
+	c.Placement[id] = addr
+	return nil
+}
+
+// corruptTensor stores t in the device and reads it back at the device's
+// current operating point.
+func (c *DeviceDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor {
+	q := quant.Quantize(t, c.Prec)
+	img := q.Pack()
+	addr, err := c.place(id, len(img))
+	if err != nil {
+		// Oversized tensor: fall back to chunked pass-through of the
+		// module, preserving error behaviour.
+		addr = 0
+	}
+	c.Device.Write(addr, img[:min(len(img), c.Device.Capacity()-addr)])
+	n := min(len(img), c.Device.Capacity()-addr)
+	got := c.Device.Read(addr, n)
+	copy(img[:n], got)
+	q.Unpack(img)
+	if b, ok := c.Bounds[id]; ok {
+		c.Logic.CorrectQTensor(q, b)
+	} else if c.Policy != memctrl.Off {
+		c.Logic.CorrectQTensor(q, memctrl.FromTensor(t, 1.5))
+	}
+	return q.Dequantize()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NextPass is a no-op: the device's read counter already advances per
+// access, making every read an independent transient draw.
+func (c *DeviceDRAM) NextPass() {}
+
+// CorruptWeights stores every parameter in the module and reads it back.
+func (c *DeviceDRAM) CorruptWeights(net *dnn.Network) (restore func()) {
+	params := net.Params()
+	saved := make([][]float32, len(params))
+	for i, p := range params {
+		saved[i] = append([]float32(nil), p.W.Data...)
+		corrupted := c.corruptTensor(p.W, WeightID(p.Name))
+		copy(p.W.Data, corrupted.Data)
+	}
+	return func() {
+		for i, p := range params {
+			copy(p.W.Data, saved[i])
+		}
+	}
+}
+
+// IFMHook returns a hook that round-trips each IFM through the module.
+func (c *DeviceDRAM) IFMHook() dnn.IFMHook {
+	return func(i int, l dnn.Layer, x *tensor.Tensor) *tensor.Tensor {
+		return c.corruptTensor(x, IFMID(l.Name()))
+	}
+}
+
+// EvalOptions bundles the corruptor into dnn evaluation options.
+func (c *DeviceDRAM) EvalOptions(maxSamples int) dnn.EvalOptions {
+	return dnn.EvalOptions{
+		Hook:       c.IFMHook(),
+		Corrupt:    c.CorruptWeights,
+		MaxSamples: maxSamples,
+	}
+}
+
+// Calibrate mirrors SoftwareDRAM.Calibrate for the device path.
+func (c *DeviceDRAM) Calibrate(tm *dnn.TrainedModel, maxSamples int, margin float32) {
+	s := &SoftwareDRAM{Bounds: c.Bounds}
+	s.Calibrate(tm, maxSamples, margin)
+}

@@ -1,0 +1,98 @@
+package eden
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dram"
+)
+
+// PartitionInfo describes one DRAM partition available to the mapper: its
+// characterized bit error rate at its operating point, its capacity, and
+// the operating point itself (lower voltage/latency = more aggressive).
+type PartitionInfo struct {
+	ID   int
+	BER  float64
+	Bits int
+	Op   dram.OperatingPoint
+}
+
+// aggressiveness orders operating points: lower voltage plus lower tRCD is
+// "smaller" parameters in Algorithm 1's comparison.
+func aggressiveness(op dram.OperatingPoint) float64 {
+	return op.VDD/dram.NominalVDD + op.Timing.TRCD/dram.NominalTiming().TRCD
+}
+
+// DataChar pairs a data type with its characterized tolerable BER.
+type DataChar struct {
+	DataDesc
+	TolerableBER float64
+}
+
+// MapFineGrained implements the paper's Algorithm 1: assign each DNN data
+// type to the most aggressive (lowest voltage/latency) partition whose BER
+// does not exceed the data's tolerable BER and which still has capacity.
+// Data is processed in descending tolerance order. It returns data ID →
+// partition ID, or an error when some data fits no partition (callers then
+// fall back to a reliable module, §3.4).
+func MapFineGrained(data []DataChar, parts []PartitionInfo) (map[string]int, error) {
+	sorted := append([]DataChar(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TolerableBER != sorted[j].TolerableBER {
+			return sorted[i].TolerableBER > sorted[j].TolerableBER
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	free := make([]int, len(parts))
+	for i, p := range parts {
+		free[i] = p.Bits
+	}
+	assign := make(map[string]int, len(sorted))
+	for _, d := range sorted {
+		bestIdx := -1
+		var bestParams float64
+		for i, p := range parts {
+			if p.BER > d.TolerableBER {
+				continue
+			}
+			if free[i] < d.Bits {
+				continue
+			}
+			params := aggressiveness(p.Op)
+			if bestIdx == -1 || params < bestParams {
+				bestIdx = i
+				bestParams = params
+			}
+		}
+		if bestIdx == -1 {
+			return nil, fmt.Errorf("eden: no partition can hold %s (%d bits, tolerable BER %.2e)", d.ID, d.Bits, d.TolerableBER)
+		}
+		free[bestIdx] -= d.Bits
+		assign[d.ID] = parts[bestIdx].ID
+	}
+	return assign, nil
+}
+
+// BERByAssignment converts an Algorithm-1 assignment into the per-data BER
+// overrides a SoftwareDRAM corruptor consumes: every data type experiences
+// the BER of the partition it landed in.
+func BERByAssignment(assign map[string]int, parts []PartitionInfo) map[string]float64 {
+	byID := make(map[int]float64, len(parts))
+	for _, p := range parts {
+		byID[p.ID] = p.BER
+	}
+	out := make(map[string]float64, len(assign))
+	for id, pid := range assign {
+		out[id] = byID[pid]
+	}
+	return out
+}
+
+// CoarseMap picks the single most aggressive operating point whose expected
+// module BER stays at or below the DNN's coarse tolerable BER — the
+// coarse-grained DNN-to-DRAM-module mapping (§3.4) used for Table 3. The
+// voltage and tRCD budgets each receive half the BER budget, and reductions
+// are quantized to the hardware steps (§5: 10 mV, 0.5 ns).
+func CoarseMap(profile dram.VendorProfile, tolerableBER float64) dram.OperatingPoint {
+	return profile.OpForBER(tolerableBER, 0.05, 0.5)
+}

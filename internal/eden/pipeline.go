@@ -1,0 +1,131 @@
+package eden
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/dram"
+	"repro/internal/errormodel"
+	"repro/internal/quant"
+	"repro/internal/softmc"
+)
+
+// PipelineConfig parameterizes the full EDEN flow of Fig. 4.
+type PipelineConfig struct {
+	Vendor string
+	Prec   quant.Precision
+	// Char controls the characterization probes; Char.MaxDrop is the
+	// user-specified accuracy target.
+	Char CharacterizeConfig
+	// RetrainEpochs is per boosting round; Rounds is how many
+	// boost↔characterize cycles to run (the paper iterates until the
+	// tolerable BER stops improving).
+	RetrainEpochs int
+	Rounds        int
+	// ProfileVDD is the stress voltage used to characterize the module and
+	// fit the error model.
+	ProfileVDD float64
+	// ProfileMaxRows caps the rows profiled (speed/coverage trade-off).
+	ProfileMaxRows int
+	Seed           uint64
+}
+
+// DefaultPipeline returns the experiment configuration for a vendor.
+func DefaultPipeline(vendor string) PipelineConfig {
+	return PipelineConfig{
+		Vendor:         vendor,
+		Prec:           quant.FP32,
+		Char:           DefaultCharacterize(),
+		RetrainEpochs:  10,
+		Rounds:         2,
+		ProfileVDD:     1.05,
+		ProfileMaxRows: 64,
+		Seed:           0xEDE4,
+	}
+}
+
+// PipelineResult is the outcome of the EDEN flow for one DNN.
+type PipelineResult struct {
+	ModelName string
+	Vendor    dram.VendorProfile
+	// ErrorModel is the fitted+selected model of the profiled module.
+	ErrorModel *errormodel.Model
+	// Boosted is the curricularly retrained network.
+	Boosted *dnn.Network
+	// BaselineTolBER and BoostedTolBER are the coarse tolerable BERs before
+	// and after boosting.
+	BaselineTolBER float64
+	BoostedTolBER  float64
+	// Op is the coarse-mapped operating point; DeltaVDD and DeltaTRCD are
+	// the reductions from nominal (the Table 3 columns).
+	Op        dram.OperatingPoint
+	DeltaVDD  float64
+	DeltaTRCD float64
+}
+
+// ProfileAndFit characterizes a module at a stress operating point and
+// returns the best-fitting error model (steps "DRAM error profile" of
+// Fig. 4). The model is fitted once per module and reused across DNNs.
+func ProfileAndFit(device *dram.Device, profileVDD float64, maxRows int, seed uint64) *errormodel.Model {
+	op := dram.Nominal()
+	op.VDD = profileVDD
+	prof := softmc.Characterize(device, op, softmc.CharacterizeConfig{Reads: 4, MaxRows: maxRows})
+	return errormodel.Select(prof, seed)
+}
+
+// RunCoarsePipeline executes the full coarse-grained EDEN flow for a zoo
+// model: profile the module, fit an error model, boost the DNN with
+// curricular retraining (iterating while the tolerable BER improves),
+// characterize it, and map it to the most aggressive operating point that
+// meets the accuracy target.
+func RunCoarsePipeline(modelName string, cfg PipelineConfig) (*PipelineResult, error) {
+	vendor, err := dram.VendorByName(cfg.Vendor)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := dnn.Pretrained(modelName)
+	if err != nil {
+		return nil, err
+	}
+	device := dram.NewDevice(dram.DefaultGeometry(), vendor, cfg.Seed)
+	em := ProfileAndFit(device, cfg.ProfileVDD, cfg.ProfileMaxRows, cfg.Seed)
+
+	res := &PipelineResult{ModelName: modelName, Vendor: vendor, ErrorModel: em}
+	cfg.Char.Prec = cfg.Prec
+	res.BaselineTolBER = CoarseCharacterize(tm, tm.Net, em, cfg.Char)
+
+	best := tm.Net
+	bestTol := res.BaselineTolBER
+	target := bestTol * 4
+	if target < 1e-3 {
+		target = 1e-3
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		rc := DefaultRetrain(em, target)
+		rc.Epochs = cfg.RetrainEpochs
+		rc.Prec = cfg.Prec
+		rc.Seed = cfg.Seed + uint64(round)
+		boosted := Retrain(tm, rc)
+		tol := CoarseCharacterize(tm, boosted, em, cfg.Char)
+		if tol > bestTol {
+			best = boosted
+			bestTol = tol
+			target = tol * 2
+		} else {
+			break
+		}
+	}
+	res.Boosted = best
+	res.BoostedTolBER = bestTol
+
+	res.Op = CoarseMap(vendor, bestTol)
+	res.DeltaVDD = res.Op.VDD - dram.NominalVDD
+	res.DeltaTRCD = res.Op.Timing.TRCD - dram.NominalTiming().TRCD
+	return res, nil
+}
+
+// String renders the result as a Table 3 row.
+func (r *PipelineResult) String() string {
+	return fmt.Sprintf("%-14s tolerable BER %5.2f%%  ΔVDD %+.2fV  ΔtRCD %+.1fns",
+		r.ModelName, r.BoostedTolBER*100, r.DeltaVDD, r.DeltaTRCD)
+}

@@ -1,0 +1,111 @@
+package eden
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/errormodel"
+	"repro/internal/quant"
+	"repro/internal/softmc"
+)
+
+func TestProfileAndFit(t *testing.T) {
+	device := dram.NewDevice(dram.DefaultGeometry(), dram.Vendors()[0], 5)
+	m := ProfileAndFit(device, 1.05, 32, 5)
+	if m == nil {
+		t.Fatal("no model")
+	}
+	// Vendor A should fit Model 0 and land near the device's expected BER.
+	if m.Kind != errormodel.Model0 {
+		t.Fatalf("vendor A selected %v", m.Kind)
+	}
+	op := dram.Nominal()
+	op.VDD = 1.05
+	want := dram.Vendors()[0].ExpectedBER(op)
+	got := m.AggregateBER()
+	if got < want/4 || got > want*4 {
+		t.Fatalf("fitted BER %v vs device %v", got, want)
+	}
+}
+
+func TestRunCoarsePipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	cfg := DefaultPipeline("A")
+	cfg.RetrainEpochs = 4
+	cfg.Rounds = 1
+	cfg.Char.MaxSamples = 40
+	cfg.Char.Repeats = 1
+	cfg.Char.SearchSteps = 6
+	cfg.Char.MaxDrop = 0.02
+	res, err := RunCoarsePipeline("LeNet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoostedTolBER < res.BaselineTolBER {
+		t.Fatalf("pipeline regressed tolerance: %v -> %v", res.BaselineTolBER, res.BoostedTolBER)
+	}
+	if res.Op.VDD > dram.NominalVDD || res.Op.Timing.TRCD > dram.NominalTiming().TRCD {
+		t.Fatalf("mapping above nominal: %+v", res.Op)
+	}
+	if res.DeltaVDD > 0 || res.DeltaTRCD > 0 {
+		t.Fatalf("positive deltas: %+v", res)
+	}
+	// The mapped operating point's expected BER must not exceed the
+	// characterized tolerance (the accuracy guarantee of §3.4).
+	if ber := res.Vendor.ExpectedBER(res.Op); ber > res.BoostedTolBER*1.05 {
+		t.Fatalf("mapped op BER %v exceeds tolerance %v", ber, res.BoostedTolBER)
+	}
+}
+
+func TestRunCoarsePipelineUnknownInputs(t *testing.T) {
+	if _, err := RunCoarsePipeline("NoSuchModel", DefaultPipeline("A")); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := RunCoarsePipeline("LeNet", DefaultPipeline("Z")); err == nil {
+		t.Fatal("unknown vendor accepted")
+	}
+}
+
+func TestFineGrainedOnDevicePartitions(t *testing.T) {
+	// Integration: characterize partition BERs on a partitioned device,
+	// run Algorithm 1, and verify every data type lands in a partition
+	// whose measured BER it tolerates.
+	tm := lenet(t)
+	device := dram.NewDevice(dram.DefaultGeometry(), dram.Vendors()[0], 9)
+	if err := device.DefinePartitions(4); err != nil {
+		t.Fatal(err)
+	}
+	vdds := []float64{1.35, 1.15, 1.10, 1.05}
+	for p, v := range vdds {
+		op := dram.Nominal()
+		op.VDD = v
+		if err := device.SetPartitionOp(p, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bers := softmc.PartitionBER(device, 0xAA, 2)
+	capBits := device.PartitionSize() * 8
+	var parts []PartitionInfo
+	for p, ber := range bers {
+		parts = append(parts, PartitionInfo{ID: p, BER: ber, Bits: capBits, Op: device.PartitionOp(p)})
+	}
+	// Synthetic per-data tolerances spanning the partition BER range.
+	data := EnumerateData(tm.Net, quant.Int8)
+	var chars []DataChar
+	for i, d := range data {
+		tolIdx := i % len(bers)
+		chars = append(chars, DataChar{DataDesc: d, TolerableBER: bers[tolIdx] * 1.01})
+	}
+	assign, err := MapFineGrained(chars, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chars {
+		p := assign[c.ID]
+		if bers[p] > c.TolerableBER {
+			t.Fatalf("%s assigned partition %d with BER %v above tolerance %v", c.ID, p, bers[p], c.TolerableBER)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package errormodel
+
+import (
+	"math"
+)
+
+// CellObs is a per-cell characterization record: how many times the cell
+// was read holding each polarity, and how many of those reads flipped.
+type CellObs struct {
+	Row, Bitline int
+	OnesReads    int
+	ZerosReads   int
+	OnesFlips    int
+	ZerosFlips   int
+}
+
+// Profile is a characterization dataset for one operating point, produced
+// by the softmc package from a (simulated) module.
+type Profile struct {
+	RowBits int
+	Cells   []CellObs
+}
+
+// MeasuredBER returns the profile's aggregate observed bit error rate.
+func (p *Profile) MeasuredBER() float64 {
+	var flips, reads int
+	for _, c := range p.Cells {
+		flips += c.OnesFlips + c.ZerosFlips
+		reads += c.OnesReads + c.ZerosReads
+	}
+	if reads == 0 {
+		return 0
+	}
+	return float64(flips) / float64(reads)
+}
+
+// fitWeakRate estimates (P, F) for a population of cells by an EM-style
+// iteration on the two-component mixture "weak with flip rate F" versus
+// "strong, never flips". flips is total flips, reads total reads, cells the
+// population size, everFlipped the number of cells with at least one flip.
+func fitWeakRate(flips, reads, cells, everFlipped int) (P, F float64) {
+	if cells == 0 || reads == 0 || flips == 0 {
+		return 0, 0
+	}
+	readsPerCell := float64(reads) / float64(cells)
+	// Initialize: weak cells are those that flipped at least once.
+	P = float64(everFlipped) / float64(cells)
+	if P <= 0 {
+		return 0, 0
+	}
+	for iter := 0; iter < 20; iter++ {
+		F = float64(flips) / (P * float64(cells) * readsPerCell)
+		if F > 1 {
+			F = 1
+		}
+		// A weak cell evades detection with probability (1-F)^reads;
+		// correct the weak-cell share for the unseen ones.
+		missProb := math.Pow(1-F, readsPerCell)
+		if missProb >= 0.999999 {
+			break
+		}
+		newP := float64(everFlipped) / float64(cells) / (1 - missProb)
+		if newP > 1 {
+			newP = 1
+		}
+		if math.Abs(newP-P) < 1e-9 {
+			P = newP
+			break
+		}
+		P = newP
+	}
+	return P, F
+}
+
+// FitModel0 fits the uniform-random model.
+func FitModel0(p *Profile, seed uint64) *Model {
+	var flips, reads, ever int
+	for _, c := range p.Cells {
+		f := c.OnesFlips + c.ZerosFlips
+		flips += f
+		reads += c.OnesReads + c.ZerosReads
+		if f > 0 {
+			ever++
+		}
+	}
+	P, F := fitWeakRate(flips, reads, len(p.Cells), ever)
+	return &Model{Kind: Model0, Seed: seed, RowBits: p.RowBits, P: P, FA: F}
+}
+
+// FitModel1 fits the bitline-structured model.
+func FitModel1(p *Profile, seed uint64) *Model {
+	m := &Model{Kind: Model1, Seed: seed, RowBits: p.RowBits,
+		PB: make([]float64, Groups), FB: make([]float64, Groups)}
+	type agg struct{ flips, reads, cells, ever int }
+	groups := make([]agg, Groups)
+	for _, c := range p.Cells {
+		g := c.Bitline % Groups
+		f := c.OnesFlips + c.ZerosFlips
+		groups[g].flips += f
+		groups[g].reads += c.OnesReads + c.ZerosReads
+		groups[g].cells++
+		if f > 0 {
+			groups[g].ever++
+		}
+	}
+	for g, a := range groups {
+		m.PB[g], m.FB[g] = fitWeakRate(a.flips, a.reads, a.cells, a.ever)
+	}
+	return m
+}
+
+// FitModel2 fits the wordline-structured model.
+func FitModel2(p *Profile, seed uint64) *Model {
+	m := &Model{Kind: Model2, Seed: seed, RowBits: p.RowBits,
+		PW: make([]float64, Groups), FW: make([]float64, Groups)}
+	type agg struct{ flips, reads, cells, ever int }
+	groups := make([]agg, Groups)
+	for _, c := range p.Cells {
+		g := c.Row % Groups
+		f := c.OnesFlips + c.ZerosFlips
+		groups[g].flips += f
+		groups[g].reads += c.OnesReads + c.ZerosReads
+		groups[g].cells++
+		if f > 0 {
+			groups[g].ever++
+		}
+	}
+	for g, a := range groups {
+		m.PW[g], m.FW[g] = fitWeakRate(a.flips, a.reads, a.cells, a.ever)
+	}
+	return m
+}
+
+// FitModel3 fits the data-dependent model.
+func FitModel3(p *Profile, seed uint64) *Model {
+	var f1, r1, f0, r0, ever int
+	for _, c := range p.Cells {
+		f1 += c.OnesFlips
+		r1 += c.OnesReads
+		f0 += c.ZerosFlips
+		r0 += c.ZerosReads
+		if c.OnesFlips+c.ZerosFlips > 0 {
+			ever++
+		}
+	}
+	P, _ := fitWeakRate(f1+f0, r1+r0, len(p.Cells), ever)
+	m := &Model{Kind: Model3, Seed: seed, RowBits: p.RowBits, P: P}
+	if P > 0 {
+		// Expected flips from ones = P · onesReads · FV1, so invert.
+		if r1 > 0 {
+			m.FV1 = math.Min(1, float64(f1)/(P*float64(r1)))
+		}
+		if r0 > 0 {
+			m.FV0 = math.Min(1, float64(f0)/(P*float64(r0)))
+		}
+	}
+	return m
+}
+
+// FitAll fits every model kind to the profile.
+func FitAll(p *Profile, seed uint64) []*Model {
+	return []*Model{FitModel0(p, seed), FitModel1(p, seed), FitModel2(p, seed), FitModel3(p, seed)}
+}
+
+// LogLikelihood scores how well the model explains the profile. Each cell
+// contributes log of the mixture probability of its observed flip counts:
+// weak with the model's flip rates, or strong and flip-free.
+func (m *Model) LogLikelihood(p *Profile) float64 {
+	var total float64
+	for _, c := range p.Cells {
+		pw := m.weakProb(c.Row, c.Bitline)
+		var f1, f0 float64
+		switch m.Kind {
+		case Model3:
+			f1, f0 = m.FV1, m.FV0
+		default:
+			f1 = m.flipRate(c.Row, c.Bitline, true)
+			f0 = f1
+		}
+		lWeak := logBinom(c.OnesFlips, c.OnesReads, f1) + logBinom(c.ZerosFlips, c.ZerosReads, f0)
+		var lik float64
+		if c.OnesFlips == 0 && c.ZerosFlips == 0 {
+			lik = pw*math.Exp(lWeak) + (1 - pw)
+		} else {
+			lik = pw * math.Exp(lWeak)
+		}
+		if lik < 1e-300 {
+			lik = 1e-300
+		}
+		total += math.Log(lik)
+	}
+	return total
+}
+
+// logBinom returns log P(k flips in n reads | rate f), ignoring the
+// constant binomial coefficient (identical across models for a fixed
+// profile, so it cancels in comparisons).
+func logBinom(k, n int, f float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	if f <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return -1e9
+	}
+	if f >= 1 {
+		if k == n {
+			return 0
+		}
+		return -1e9
+	}
+	return float64(k)*math.Log(f) + float64(n-k)*math.Log(1-f)
+}
+
+// Select fits all models and returns the one most likely to have produced
+// the profile. Following the paper's rule, when another model's likelihood
+// is within tolerance of Model 0's, Model 0 is preferred because it is the
+// cheapest to inject (§4, Model Selection).
+func Select(p *Profile, seed uint64) *Model {
+	models := FitAll(p, seed)
+	liks := make([]float64, len(models))
+	best := 0
+	for i, m := range models {
+		liks[i] = m.LogLikelihood(p)
+		if liks[i] > liks[best] {
+			best = i
+		}
+	}
+	// Preference for Model 0 on near-ties: "very similar probability"
+	// interpreted as within 0.5% of the best log-likelihood magnitude.
+	tol := 0.005 * math.Abs(liks[best])
+	if liks[0] >= liks[best]-tol {
+		return models[0]
+	}
+	return models[best]
+}

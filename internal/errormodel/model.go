@@ -1,0 +1,275 @@
+// Package errormodel implements the paper's four probabilistic DRAM error
+// models (§4): uniform-random (Model 0), bitline-structured (Model 1),
+// wordline-structured (Model 2) and data-dependent (Model 3). It fits model
+// parameters to cell-level observations from DRAM characterization by
+// maximum likelihood, selects the best-fitting model, and injects
+// model-distributed bit errors into quantized tensors for EDEN offloading —
+// the software path that replaces device-in-the-loop error injection.
+package errormodel
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// Kind identifies one of the paper's four error models.
+type Kind int
+
+// The four error models of §4.
+const (
+	Model0 Kind = iota // uniform random over the bank
+	Model1             // vertical (bitline) structure
+	Model2             // horizontal (wordline) structure
+	Model3             // data-dependent uniform random
+)
+
+// String returns the paper's name for the model.
+func (k Kind) String() string {
+	switch k {
+	case Model0:
+		return "Error Model 0"
+	case Model1:
+		return "Error Model 1"
+	case Model2:
+		return "Error Model 2"
+	case Model3:
+		return "Error Model 3"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Groups is the number of bitline/wordline buckets Models 1 and 2 use.
+// Real modules have thousands of bitlines; bucketing keeps the parameter
+// count manageable exactly as the paper's PB/FB formulation does.
+const Groups = 64
+
+// Model is a fitted probabilistic error model. A cell is "weak" with a
+// (possibly group- or data-dependent) probability P; a weak cell flips on
+// each access with probability F. Weak-cell identity is deterministic given
+// Seed, which is how the model carries the *location* information the paper
+// requires (§4).
+type Model struct {
+	Kind    Kind
+	Seed    uint64
+	RowBits int // bitline count per row used for coordinate mapping
+
+	// Model 0 and Model 3 parameters.
+	P  float64
+	FA float64
+	// Model 3 data-dependent flip rates (replace FA).
+	FV1 float64
+	FV0 float64
+	// Model 1 per-bitline-group parameters.
+	PB []float64
+	FB []float64
+	// Model 2 per-wordline-group parameters.
+	PW []float64
+	FW []float64
+}
+
+// weakProb returns the probability that the cell at (row, bitline) is weak.
+func (m *Model) weakProb(row, bitline int) float64 {
+	switch m.Kind {
+	case Model0, Model3:
+		return m.P
+	case Model1:
+		return m.PB[bitline%Groups]
+	case Model2:
+		return m.PW[row%Groups]
+	}
+	return 0
+}
+
+// flipRate returns a weak cell's per-access flip probability at
+// (row, bitline) holding the given stored bit.
+func (m *Model) flipRate(row, bitline int, stored bool) float64 {
+	switch m.Kind {
+	case Model0:
+		return m.FA
+	case Model1:
+		return m.FB[bitline%Groups]
+	case Model2:
+		return m.FW[row%Groups]
+	case Model3:
+		if stored {
+			return m.FV1
+		}
+		return m.FV0
+	}
+	return 0
+}
+
+// IsWeak reports whether the cell at (row, bitline) is weak under this
+// model's deterministic weak-cell map.
+func (m *Model) IsWeak(row, bitline int) bool {
+	u := uniformHash(m.Seed, uint64(row), uint64(bitline))
+	return u < m.weakProb(row, bitline)
+}
+
+// FlipProb returns the marginal per-access flip probability of the cell at
+// (row, bitline) with the given stored bit: zero for strong cells, the
+// model flip rate for weak cells.
+func (m *Model) FlipProb(row, bitline int, stored bool) float64 {
+	if !m.IsWeak(row, bitline) {
+		return 0
+	}
+	return m.flipRate(row, bitline, stored)
+}
+
+// AggregateBER returns the expected bit error rate over uniformly
+// distributed data and cell positions.
+func (m *Model) AggregateBER() float64 {
+	switch m.Kind {
+	case Model0:
+		return m.P * m.FA
+	case Model3:
+		return m.P * (m.FV1 + m.FV0) / 2
+	case Model1:
+		var s float64
+		for g := 0; g < Groups; g++ {
+			s += m.PB[g] * m.FB[g]
+		}
+		return s / Groups
+	case Model2:
+		var s float64
+		for g := 0; g < Groups; g++ {
+			s += m.PW[g] * m.FW[g]
+		}
+		return s / Groups
+	}
+	return 0
+}
+
+// ScaledTo returns a copy of the model whose flip rates are scaled so the
+// aggregate BER equals target. EDEN's characterization sweeps BER through
+// this knob while preserving the model's spatial and data structure.
+func (m *Model) ScaledTo(target float64) *Model {
+	cur := m.AggregateBER()
+	c := m.clone()
+	if cur <= 0 {
+		// Degenerate fit (error-free profile): fall back to a uniform
+		// model at the target rate so sweeps still work.
+		c.Kind = Model0
+		c.P = 1
+		c.FA = target
+		return c
+	}
+	scale := target / cur
+	clampScale := func(f float64) float64 {
+		v := f * scale
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	c.FA = clampScale(c.FA)
+	c.FV1 = clampScale(c.FV1)
+	c.FV0 = clampScale(c.FV0)
+	for i := range c.FB {
+		c.FB[i] = clampScale(c.FB[i])
+	}
+	for i := range c.FW {
+		c.FW[i] = clampScale(c.FW[i])
+	}
+	return c
+}
+
+func (m *Model) clone() *Model {
+	c := *m
+	c.PB = append([]float64(nil), m.PB...)
+	c.FB = append([]float64(nil), m.FB...)
+	c.PW = append([]float64(nil), m.PW...)
+	c.FW = append([]float64(nil), m.FW...)
+	return &c
+}
+
+// uniformHash maps (seed, a, b) to a uniform float64 in [0, 1).
+func uniformHash(seed, a, b uint64) float64 {
+	z := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Injector applies a model's error distribution to quantized tensors,
+// emulating their residence in approximate DRAM. Each Inject call is one
+// independent "read" of the data (errors are transient); NextPass advances
+// the transient draw.
+type Injector struct {
+	Model *Model
+	// BaseBit positions the tensor in the module's address space, so that
+	// different tensors land on different rows (and characterization can
+	// co-locate tensors with partitions).
+	pass uint64
+}
+
+// NewInjector returns an injector for the model.
+func NewInjector(m *Model) *Injector {
+	return &Injector{Model: m}
+}
+
+// NextPass advances the transient error draw; subsequent Inject calls see
+// an independent error pattern (with the same weak-cell locations).
+func (in *Injector) NextPass() { in.pass++ }
+
+// SetPass jumps the transient error draw to an absolute pass index, letting
+// callers that construct fresh injectors per tensor stay aligned with a
+// shared pass counter.
+func (in *Injector) SetPass(pass uint64) { in.pass = pass }
+
+// Inject flips bits of q in place according to the model, as if q's packed
+// image occupied DRAM starting at bit offset baseBit. The layout matches
+// quant.Pack: value i's bit k lives at absolute bit baseBit + i*bits + k,
+// rows are RowBits wide, and the bit's bitline is its offset within the
+// row. MSB alignment therefore emerges naturally when RowBits is a
+// multiple of the value width, mirroring the paper's observation that
+// aligned MSBs share bitlines (§6.3).
+func (in *Injector) Inject(q *quant.QTensor, baseBit int) int {
+	return in.InjectWeak(q, baseBit, in.WeakPositions(q.NumValues()*q.Prec.Bits(), baseBit))
+}
+
+// WeakPositions enumerates the weak-cell bit offsets (relative to baseBit)
+// within a span of nBits. Weakness depends only on the model's seed and P
+// parameters — not on the flip rates — so callers that inject into the same
+// tensor repeatedly (retraining, characterization sweeps) compute this once
+// and reuse it across passes and across ScaledTo copies of the model.
+func (in *Injector) WeakPositions(nBits, baseBit int) []int32 {
+	m := in.Model
+	var weak []int32
+	for rel := 0; rel < nBits; rel++ {
+		pos := baseBit + rel
+		if m.IsWeak(pos/m.RowBits, pos%m.RowBits) {
+			weak = append(weak, int32(rel))
+		}
+	}
+	return weak
+}
+
+// InjectWeak flips bits of q using a precomputed weak-position list from
+// WeakPositions with the same baseBit. It is the fast path of Inject.
+func (in *Injector) InjectWeak(q *quant.QTensor, baseBit int, weak []int32) int {
+	bits := q.Prec.Bits()
+	m := in.Model
+	flips := 0
+	for _, rel := range weak {
+		i := int(rel) / bits
+		k := int(rel) % bits
+		pos := baseBit + int(rel)
+		stored := q.Bit(i, k)
+		p := m.flipRate(pos/m.RowBits, pos%m.RowBits, stored)
+		if p <= 0 {
+			continue
+		}
+		u := uniformHash(m.Seed^0x7261B5, in.pass*0x9E37+uint64(pos), uint64(pos))
+		if u < p {
+			q.FlipBit(i, k)
+			flips++
+		}
+	}
+	return flips
+}

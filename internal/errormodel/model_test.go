@@ -1,0 +1,209 @@
+package errormodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func uniformModel(ber float64) *Model {
+	return &Model{Kind: Model0, Seed: 1, RowBits: 2048, P: 1, FA: ber}
+}
+
+func TestAggregateBER(t *testing.T) {
+	m := &Model{Kind: Model0, P: 0.1, FA: 0.5}
+	if got := m.AggregateBER(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("Model0 BER = %v", got)
+	}
+	m3 := &Model{Kind: Model3, P: 0.2, FV1: 0.4, FV0: 0.1}
+	if got := m3.AggregateBER(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("Model3 BER = %v", got)
+	}
+	m1 := &Model{Kind: Model1, PB: make([]float64, Groups), FB: make([]float64, Groups)}
+	for g := range m1.PB {
+		m1.PB[g] = 0.5
+		m1.FB[g] = 0.2
+	}
+	if got := m1.AggregateBER(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Model1 BER = %v", got)
+	}
+}
+
+func TestScaledToHitsTarget(t *testing.T) {
+	m := &Model{Kind: Model0, Seed: 3, RowBits: 128, P: 0.3, FA: 0.1}
+	for _, target := range []float64{1e-4, 1e-2, 0.02} {
+		s := m.ScaledTo(target)
+		if math.Abs(s.AggregateBER()-target) > target*1e-9 {
+			t.Fatalf("ScaledTo(%v) BER = %v", target, s.AggregateBER())
+		}
+	}
+	if m.FA != 0.1 {
+		t.Fatal("ScaledTo mutated the receiver")
+	}
+}
+
+func TestScaledToDegenerate(t *testing.T) {
+	m := &Model{Kind: Model1, Seed: 4, RowBits: 128, PB: make([]float64, Groups), FB: make([]float64, Groups)}
+	s := m.ScaledTo(0.01)
+	if math.Abs(s.AggregateBER()-0.01) > 1e-12 {
+		t.Fatalf("degenerate ScaledTo BER = %v", s.AggregateBER())
+	}
+}
+
+func TestWeakCellsStable(t *testing.T) {
+	m := &Model{Kind: Model0, Seed: 5, RowBits: 256, P: 0.3, FA: 1}
+	for i := 0; i < 100; i++ {
+		if m.IsWeak(i, i*7%256) != m.IsWeak(i, i*7%256) {
+			t.Fatal("weak-cell map not deterministic")
+		}
+	}
+	weak := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if m.IsWeak(i/256, i%256) {
+			weak++
+		}
+	}
+	frac := float64(weak) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("weak fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestInjectorRate(t *testing.T) {
+	const ber = 0.01
+	m := uniformModel(ber)
+	in := NewInjector(m)
+	x := tensor.New(20000)
+	x.FillNormal(tensor.NewRNG(1), 1)
+	q := quant.Quantize(x, quant.Int8)
+	flips := in.Inject(q, 0)
+	rate := float64(flips) / float64(q.NumBits())
+	if math.Abs(rate-ber) > ber*0.3 {
+		t.Fatalf("injected rate %v, want ~%v", rate, ber)
+	}
+}
+
+func TestInjectorTransience(t *testing.T) {
+	m := uniformModel(0.05)
+	in := NewInjector(m)
+	x := tensor.New(5000)
+	x.FillNormal(tensor.NewRNG(2), 1)
+	q1 := quant.Quantize(x, quant.Int8)
+	q2 := q1.Clone()
+	in.Inject(q1, 0)
+	in.NextPass()
+	in.Inject(q2, 0)
+	same := true
+	for i := range q1.Codes {
+		if q1.Codes[i] != q2.Codes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two passes injected identical error patterns")
+	}
+}
+
+func TestInjectorZeroBERIsNoop(t *testing.T) {
+	m := uniformModel(0)
+	in := NewInjector(m)
+	x := tensor.New(1000)
+	x.FillNormal(tensor.NewRNG(3), 1)
+	q := quant.Quantize(x, quant.FP32)
+	orig := q.Clone()
+	if flips := in.Inject(q, 0); flips != 0 {
+		t.Fatalf("zero-BER model injected %d flips", flips)
+	}
+	for i := range q.Codes {
+		if q.Codes[i] != orig.Codes[i] {
+			t.Fatal("zero-BER model altered data")
+		}
+	}
+}
+
+func TestModel1ConcentratesOnBitlines(t *testing.T) {
+	// All weakness on one bitline group: flips should only land on value
+	// bits mapping to that group.
+	m := &Model{Kind: Model1, Seed: 7, RowBits: 2048, PB: make([]float64, Groups), FB: make([]float64, Groups)}
+	m.PB[3] = 1
+	m.FB[3] = 0.5
+	in := NewInjector(m)
+	x := tensor.New(4096)
+	x.Fill(1)
+	q := quant.Quantize(x, quant.Int8)
+	before := q.Clone()
+	in.Inject(q, 0)
+	for i := range q.Codes {
+		diff := q.Codes[i] ^ before.Codes[i]
+		for k := 0; k < 8; k++ {
+			if diff>>uint(k)&1 == 1 {
+				bitline := (i*8 + k) % m.RowBits
+				if bitline%Groups != 3 {
+					t.Fatalf("flip on bitline group %d, want 3", bitline%Groups)
+				}
+			}
+		}
+	}
+}
+
+func TestModel3DataDependence(t *testing.T) {
+	m := &Model{Kind: Model3, Seed: 8, RowBits: 2048, P: 1, FV1: 0.2, FV0: 0.002}
+	in := NewInjector(m)
+	ones := tensor.New(8000)
+	ones.Fill(-1) // int8 code 0xFF... all ones after quantization to -127? Use FP32 all-ones pattern instead.
+	q := quant.Quantize(ones, quant.Int8)
+	// Count stored one-bits and zero-bits and their flips.
+	before := q.Clone()
+	in.Inject(q, 0)
+	var ones1, flips1, zeros0, flips0 int
+	for i := range q.Codes {
+		diff := q.Codes[i] ^ before.Codes[i]
+		for k := 0; k < 8; k++ {
+			stored := before.Codes[i]>>uint(k)&1 == 1
+			flipped := diff>>uint(k)&1 == 1
+			if stored {
+				ones1++
+				if flipped {
+					flips1++
+				}
+			} else {
+				zeros0++
+				if flipped {
+					flips0++
+				}
+			}
+		}
+	}
+	if ones1 == 0 || zeros0 == 0 {
+		t.Fatal("test data lacks both polarities")
+	}
+	r1 := float64(flips1) / float64(ones1)
+	r0 := float64(flips0) / float64(zeros0)
+	if r1 < r0*5 {
+		t.Fatalf("1-bit flip rate %v not clearly above 0-bit rate %v", r1, r0)
+	}
+}
+
+// Property: ScaledTo preserves kind and hits any reasonable target.
+func TestScaledToProperty(t *testing.T) {
+	f := func(seed uint64, t8 uint8) bool {
+		target := (float64(t8%100) + 1) / 1000 // 0.001 .. 0.1
+		m := &Model{Kind: Model3, Seed: seed, RowBits: 512, P: 0.4, FV1: 0.3, FV0: 0.05}
+		s := m.ScaledTo(target)
+		return s.Kind == Model3 && math.Abs(s.AggregateBER()-target) < target*1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Model0.String() != "Error Model 0" || Model3.String() != "Error Model 3" {
+		t.Fatal("unexpected kind names")
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/dram"
+	"repro/internal/dram/power"
+	"repro/internal/quant"
+	"repro/internal/sim/accel"
+	"repro/internal/sim/cpu"
+	"repro/internal/sim/gpu"
+	"repro/internal/softmc"
+	"repro/internal/trace"
+)
+
+// cpuModels are the six networks of Figs. 13 and 14.
+var cpuModels = []string{"YOLO-Tiny", "YOLO", "ResNet101", "VGG-16", "SqueezeNet1.1", "DenseNet201"}
+
+// opFor returns the per-model reduced operating point: the Table 3 pipeline
+// result when available, else a representative reduction.
+func opFor(model string, prec quant.Precision) (dram.OperatingPoint, error) {
+	e, err := Table3For(model, prec)
+	if err != nil {
+		return dram.Nominal(), err
+	}
+	return e.Result.Op, nil
+}
+
+// Figure13CPUEnergy reproduces Fig. 13: per-model DRAM energy savings on
+// the Table 4 CPU at the model's Table 3 operating point, FP32 and int8.
+func Figure13CPUEnergy() (Report, error) {
+	r := Report{ID: "E11/Fig13", Title: "CPU DRAM energy savings (Table 4 system, vendor A mapping)",
+		Header: fmt.Sprintf("%-14s %-6s %10s", "Model", "Prec", "Savings")}
+	cfg := cpu.Default()
+	pcfg := power.DDR4()
+	var geoSum float64
+	var n int
+	for _, model := range cpuModels {
+		spec, _ := dnn.LookupSpec(model)
+		net, err := dnn.BuildModel(model)
+		if err != nil {
+			return r, err
+		}
+		for _, prec := range []quant.Precision{quant.FP32, quant.Int8} {
+			op, err := opFor(model, prec)
+			if err != nil {
+				return r, err
+			}
+			w := trace.FromModel(spec, net, prec, 16)
+			s := cpu.EnergySavings(w, cfg, pcfg, op.VDD, op.Timing)
+			r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.1f%%", model, prec, s*100))
+			geoSum += s
+			n++
+		}
+	}
+	r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.1f%%", "Mean", "", geoSum/float64(n)*100))
+	return r, nil
+}
+
+// Figure14CPUSpeedup reproduces Fig. 14: per-model CPU speedup at the
+// Table 3 tRCD reduction, next to the ideal tRCD=0 system.
+func Figure14CPUSpeedup() (Report, error) {
+	r := Report{ID: "E12/Fig14", Title: "CPU speedup: EDEN vs ideal tRCD=0 (Table 4 system)",
+		Header: fmt.Sprintf("%-14s %-6s %8s %8s", "Model", "Prec", "EDEN", "Ideal")}
+	cfg := cpu.Default()
+	ideal := dram.NominalTiming()
+	ideal.TRCD = 0
+	var sumE, sumI float64
+	var n int
+	for _, model := range cpuModels {
+		spec, _ := dnn.LookupSpec(model)
+		net, err := dnn.BuildModel(model)
+		if err != nil {
+			return r, err
+		}
+		for _, prec := range []quant.Precision{quant.FP32, quant.Int8} {
+			op, err := opFor(model, prec)
+			if err != nil {
+				return r, err
+			}
+			w := trace.FromModel(spec, net, prec, 16)
+			sE := cpu.Speedup(w, cfg, op.Timing)
+			sI := cpu.Speedup(w, cfg, ideal)
+			r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %7.3fx %7.3fx", model, prec, sE, sI))
+			sumE += sE
+			sumI += sI
+			n++
+		}
+	}
+	r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %7.3fx %7.3fx", "Mean", "", sumE/float64(n), sumI/float64(n)))
+	return r, nil
+}
+
+// Section72GPU reproduces the §7.2 GPU results: energy savings and speedup
+// for the YOLO family on the Table 5 GPU.
+func Section72GPU() (Report, error) {
+	r := Report{ID: "E13/GPU", Title: "GPU (Table 5): DRAM energy savings and speedup",
+		Header: fmt.Sprintf("%-14s %-6s %9s %9s", "Model", "Prec", "Energy", "Speedup")}
+	cfg := gpu.Default()
+	pcfg := power.DDR4()
+	for _, model := range []string{"YOLO", "YOLO-Tiny"} {
+		spec, _ := dnn.LookupSpec(model)
+		net, err := dnn.BuildModel(model)
+		if err != nil {
+			return r, err
+		}
+		for _, prec := range []quant.Precision{quant.FP32, quant.Int8} {
+			op, err := opFor(model, prec)
+			if err != nil {
+				return r, err
+			}
+			w := trace.FromModel(spec, net, prec, 16)
+			e := gpu.EnergySavings(w, cfg, pcfg, op.VDD, op.Timing)
+			s := gpu.Speedup(w, cfg, op.Timing)
+			r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %8.1f%% %8.3fx", model, prec, e*100, s))
+		}
+	}
+	return r, nil
+}
+
+// Section72Accelerators reproduces the §7.2 accelerator results: Eyeriss
+// and TPU DRAM energy savings on DDR4 and LPDDR3, plus the no-speedup
+// finding.
+func Section72Accelerators() (Report, error) {
+	r := Report{ID: "E14/Accel", Title: "Eyeriss and TPU (Table 6): DRAM energy savings, speedup",
+		Header: fmt.Sprintf("%-8s %-12s %-12s %9s %9s", "Accel", "Model", "DRAM", "Energy", "Speedup")}
+	for _, cfg := range []accel.Config{accel.Eyeriss(), accel.TPU()} {
+		for _, model := range []string{"AlexNet", "YOLO-Tiny"} {
+			spec, _ := dnn.LookupSpec(model)
+			net, err := dnn.BuildModel(model)
+			if err != nil {
+				return r, err
+			}
+			op, err := opFor(model, quant.Int8)
+			if err != nil {
+				return r, err
+			}
+			w := trace.FromModel(spec, net, quant.Int8, 1)
+			for _, pcfg := range []power.Config{power.DDR4(), power.LPDDR3()} {
+				e := accel.EnergySavings(w, cfg, pcfg, op.VDD)
+				s := accel.Speedup(w, cfg, op.Timing)
+				r.Rows = append(r.Rows, fmt.Sprintf("%-8s %-12s %-12s %8.1f%% %8.3fx",
+					cfg.Name, model, pcfg.Name, e*100, s))
+			}
+		}
+	}
+	return r, nil
+}
+
+// ProfilingCost reproduces the §6.2 claim that a full characterization pass
+// of a 16-bank 4GB DDR4 module takes under 4 minutes.
+func ProfilingCost() Report {
+	r := Report{ID: "E15/Profiling", Title: "Estimated full-module profiling wall time",
+		Header: fmt.Sprintf("%-28s %10s", "Module", "Seconds")}
+	big := dram.Geometry{Banks: 16, SubarraysPerBank: 64, RowsPerSubarray: 512, RowBytes: 8192}
+	secs := softmc.ProfilingCost(big, softmc.CharacterizeConfig{Reads: 4}, dram.NominalTiming())
+	r.Rows = append(r.Rows, fmt.Sprintf("%-28s %9.0fs", "16-bank 4GB DDR4", secs))
+	small := dram.DefaultGeometry()
+	r.Rows = append(r.Rows, fmt.Sprintf("%-28s %9.1fs", "experiment module (4MiB)",
+		softmc.ProfilingCost(small, softmc.CharacterizeConfig{Reads: 4}, dram.NominalTiming())))
+	return r
+}

@@ -1,0 +1,187 @@
+// Package memctrl models the memory controller support EDEN requires (§5):
+// the bounding logic that corrects implausible values coming back from
+// approximate DRAM, and the partition metadata tables that let the
+// controller apply per-partition voltage and timing parameters.
+package memctrl
+
+import (
+	"math"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Policy selects how out-of-bounds values are corrected. The paper finds
+// zeroing consistently beats saturating (§3.2); both are implemented so the
+// ablation can be reproduced.
+type Policy int
+
+// Correction policies.
+const (
+	Zero Policy = iota
+	Saturate
+	// Off disables correction entirely (the paper's accuracy-collapse
+	// baseline).
+	Off
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Zero:
+		return "zero"
+	case Saturate:
+		return "saturate"
+	case Off:
+		return "off"
+	default:
+		return "unknown"
+	}
+}
+
+// Bounds is a per-data-type plausible value range, computed while training
+// the baseline DNN on reliable DRAM (§3.2).
+type Bounds struct {
+	Lo, Hi float32
+}
+
+// FromTensor derives bounds from a clean tensor with a safety margin:
+// the observed range stretched by the multiplicative margin.
+func FromTensor(t *tensor.Tensor, margin float32) Bounds {
+	m := t.MaxAbs() * margin
+	if m == 0 {
+		m = margin
+	}
+	return Bounds{Lo: -m, Hi: m}
+}
+
+// BoundingLogic is the 1-cycle hardware block (§5) that compares every
+// loaded value against its data type's bounds and corrects out-of-range
+// values. CorrectedLatencyCycles is the per-load latency it adds.
+type BoundingLogic struct {
+	Policy Policy
+	// Corrections counts how many values were corrected, for diagnostics.
+	Corrections uint64
+}
+
+// CorrectedLatencyCycles is the latency the bounding logic adds to each
+// load (§5 reports one cycle).
+const CorrectedLatencyCycles = 1
+
+// CorrectValue applies the policy to a single value.
+func (b *BoundingLogic) CorrectValue(v float32, bounds Bounds) float32 {
+	if b.Policy == Off {
+		return v
+	}
+	if !(v < bounds.Lo || v > bounds.Hi || isNaN32(v)) {
+		return v
+	}
+	b.Corrections++
+	switch b.Policy {
+	case Saturate:
+		if isNaN32(v) {
+			return 0
+		}
+		if v < bounds.Lo {
+			return bounds.Lo
+		}
+		return bounds.Hi
+	default: // Zero
+		return 0
+	}
+}
+
+func isNaN32(v float32) bool { return v != v }
+
+// CorrectTensor applies the policy to every element in place and returns
+// the number of corrections.
+func (b *BoundingLogic) CorrectTensor(t *tensor.Tensor, bounds Bounds) int {
+	if b.Policy == Off {
+		return 0
+	}
+	n := 0
+	for i, v := range t.Data {
+		c := b.CorrectValue(v, bounds)
+		if c != v || isNaN32(v) {
+			t.Data[i] = c
+			n++
+		}
+	}
+	return n
+}
+
+// CorrectQTensor applies the policy to a quantized tensor in place,
+// decoding each value, bounding it, and re-encoding corrections.
+func (b *BoundingLogic) CorrectQTensor(q *quant.QTensor, bounds Bounds) int {
+	if b.Policy == Off {
+		return 0
+	}
+	n := 0
+	for i := 0; i < q.NumValues(); i++ {
+		v := q.Value(i)
+		c := b.CorrectValue(v, bounds)
+		if c != v || isNaN32(v) {
+			q.SetValue(i, c)
+			n++
+		}
+	}
+	return n
+}
+
+// PartitionTable is the controller-side metadata that records which memory
+// partition operates at which voltage and timing parameters (§5).
+type PartitionTable struct {
+	// VDD per partition, encoded as 8-bit steps.
+	VDDStep []uint8
+	// tRCD per partition, encoded in 4 bits.
+	TRCDCode []uint8
+}
+
+// NewPartitionTable creates a table for n partitions.
+func NewPartitionTable(n int) *PartitionTable {
+	return &PartitionTable{VDDStep: make([]uint8, n), TRCDCode: make([]uint8, n)}
+}
+
+// MetadataBytes returns the table's storage cost in bytes: one 8-bit
+// voltage step plus a 4-bit timing code per partition. The paper's §5
+// budgets follow: 32 banks → 32+16 B ≈ 48 B of voltage/timing state, 2¹⁰
+// partitions → ~1.5 KB, subarray granularity on an 8GB module (2048
+// subarrays) → ~3 KB.
+func (t *PartitionTable) MetadataBytes() int {
+	return len(t.VDDStep) + (len(t.TRCDCode)+1)/2
+}
+
+// EncodeVDD stores a voltage as an 8-bit step below nominal (10 mV steps).
+func (t *PartitionTable) EncodeVDD(p int, vdd, nominal float64) {
+	steps := int(math.Round((nominal - vdd) / 0.01))
+	if steps < 0 {
+		steps = 0
+	}
+	if steps > 255 {
+		steps = 255
+	}
+	t.VDDStep[p] = uint8(steps)
+}
+
+// DecodeVDD reconstructs the stored voltage.
+func (t *PartitionTable) DecodeVDD(p int, nominal float64) float64 {
+	return nominal - float64(t.VDDStep[p])*0.01
+}
+
+// EncodeTRCD stores tRCD as a 4-bit code in 0.5 ns steps below nominal
+// (§5: "4 bits are enough to encode all possible values").
+func (t *PartitionTable) EncodeTRCD(p int, trcd, nominal float64) {
+	steps := int(math.Round((nominal - trcd) / 0.5))
+	if steps < 0 {
+		steps = 0
+	}
+	if steps > 15 {
+		steps = 15
+	}
+	t.TRCDCode[p] = uint8(steps)
+}
+
+// DecodeTRCD reconstructs the stored tRCD.
+func (t *PartitionTable) DecodeTRCD(p int, nominal float64) float64 {
+	return nominal - float64(t.TRCDCode[p])*0.5
+}

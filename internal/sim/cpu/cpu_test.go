@@ -1,0 +1,117 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/dram"
+	"repro/internal/dram/power"
+	"repro/internal/quant"
+	"repro/internal/trace"
+)
+
+func workload(t *testing.T, name string) trace.Workload {
+	t.Helper()
+	spec, err := dnn.LookupSpec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dnn.BuildModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.FromModel(spec, net, quant.Int8, 16)
+}
+
+func reducedTiming(trcd float64) dram.Timing {
+	tim := dram.NominalTiming()
+	tim.TRCD = trcd
+	return tim
+}
+
+func TestSimulateProducesTime(t *testing.T) {
+	w := workload(t, "ResNet101")
+	r := Simulate(w, Default(), dram.NominalTiming())
+	if r.TimeNS <= 0 || r.Cycles <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	if r.DRAM.Reads == 0 || r.DRAM.Act == 0 {
+		t.Fatal("no DRAM commands counted")
+	}
+	if r.DRAM.TimeNS != r.TimeNS {
+		t.Fatal("DRAM time not aligned with execution time")
+	}
+}
+
+func TestReducedTRCDSpeedsUp(t *testing.T) {
+	w := workload(t, "YOLO")
+	s := Speedup(w, Default(), reducedTiming(7.0))
+	if s <= 1 {
+		t.Fatalf("reduced tRCD slowed down: %v", s)
+	}
+	ideal := Speedup(w, Default(), reducedTiming(0))
+	if ideal < s {
+		t.Fatalf("ideal tRCD=0 (%v) slower than partial reduction (%v)", ideal, s)
+	}
+}
+
+func TestYOLOMostLatencySensitive(t *testing.T) {
+	// Fig. 14's shape: YOLO tops the speedup ranking; SqueezeNet and
+	// ResNet barely move.
+	red := reducedTiming(7.0)
+	cfg := Default()
+	yolo := Speedup(workload(t, "YOLO"), cfg, red)
+	squeeze := Speedup(workload(t, "SqueezeNet1.1"), cfg, red)
+	resnet := Speedup(workload(t, "ResNet101"), cfg, red)
+	if yolo <= squeeze || yolo <= resnet {
+		t.Fatalf("YOLO %v not above SqueezeNet %v / ResNet %v", yolo, squeeze, resnet)
+	}
+	if squeeze > 1.02 {
+		t.Fatalf("SqueezeNet speedup %v, expected near 1 (not latency bound)", squeeze)
+	}
+	if yolo < 1.04 {
+		t.Fatalf("YOLO speedup %v, expected several percent (paper: up to 17%%)", yolo)
+	}
+}
+
+func TestEDENCloseToIdealShape(t *testing.T) {
+	// Fig. 14: EDEN's speedup is a large fraction of the ideal tRCD=0
+	// speedup for latency-bound networks.
+	w := workload(t, "YOLO")
+	cfg := Default()
+	eden := Speedup(w, cfg, reducedTiming(6.5))
+	ideal := Speedup(w, cfg, reducedTiming(0))
+	if (eden-1)/(ideal-1) < 0.35 {
+		t.Fatalf("EDEN speedup %v captures too little of ideal %v", eden, ideal)
+	}
+}
+
+func TestEnergySavingsBand(t *testing.T) {
+	// Fig. 13: DRAM energy savings around 20-30% at Table 3 voltages.
+	w := workload(t, "VGG-16")
+	s := EnergySavings(w, Default(), power.DDR4(), 1.0, reducedTiming(6.5))
+	if s < 0.15 || s > 0.40 {
+		t.Fatalf("VGG energy savings %v, want paper band", s)
+	}
+	// Less aggressive voltage saves less.
+	s2 := EnergySavings(w, Default(), power.DDR4(), 1.25, reducedTiming(6.5))
+	if s2 >= s {
+		t.Fatalf("smaller ΔVDD saved more: %v vs %v", s2, s)
+	}
+}
+
+func TestFP32AndInt8SaveSimilarly(t *testing.T) {
+	// §7.1: FP32 and int8 savings are roughly equal because the voltage
+	// reduction is the same; only traffic volume differs.
+	spec, _ := dnn.LookupSpec("VGG-16")
+	net, _ := dnn.BuildModel("VGG-16")
+	cfg := Default()
+	red := reducedTiming(6.5)
+	w32 := trace.FromModel(spec, net, quant.FP32, 16)
+	w8 := trace.FromModel(spec, net, quant.Int8, 16)
+	s32 := EnergySavings(w32, cfg, power.DDR4(), 1.0, red)
+	s8 := EnergySavings(w8, cfg, power.DDR4(), 1.0, red)
+	if diff := s32 - s8; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("FP32 %v vs int8 %v savings diverge", s32, s8)
+	}
+}

@@ -1,0 +1,73 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/dram"
+	"repro/internal/dram/power"
+	"repro/internal/quant"
+	"repro/internal/trace"
+)
+
+func workload(t *testing.T, name string) trace.Workload {
+	t.Helper()
+	spec, err := dnn.LookupSpec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dnn.BuildModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.FromModel(spec, net, quant.Int8, 16)
+}
+
+func reducedTiming(trcd float64) dram.Timing {
+	tim := dram.NominalTiming()
+	tim.TRCD = trcd
+	return tim
+}
+
+func TestYOLOTinyGainsMoreThanYOLO(t *testing.T) {
+	// §7.2: YOLO-Tiny speeds up 5.5%, YOLO ~0% — the big model's warp
+	// parallelism hides DRAM latency.
+	cfg := Default()
+	red := reducedTiming(6.5)
+	tiny := Speedup(workload(t, "YOLO-Tiny"), cfg, red)
+	big := Speedup(workload(t, "YOLO"), cfg, red)
+	if tiny <= big {
+		t.Fatalf("YOLO-Tiny %v not above YOLO %v", tiny, big)
+	}
+	if big > 1.04 {
+		t.Fatalf("YOLO speedup %v, expected near zero", big)
+	}
+	if tiny < 1.02 {
+		t.Fatalf("YOLO-Tiny speedup %v, expected a few percent", tiny)
+	}
+}
+
+func TestGPUEnergyBand(t *testing.T) {
+	// §7.2: average GPU energy reduction ~37% (32.6-41.7%).
+	cfg := Default()
+	red := reducedTiming(6.5)
+	for _, name := range []string{"YOLO", "YOLO-Tiny"} {
+		s := EnergySavings(workload(t, name), cfg, power.DDR4(), 1.0, red)
+		if s < 0.2 || s > 0.5 {
+			t.Fatalf("%s GPU energy savings %v outside paper band", name, s)
+		}
+	}
+}
+
+func TestSpeedupBoundedByIdeal(t *testing.T) {
+	cfg := Default()
+	w := workload(t, "YOLO-Tiny")
+	partial := Speedup(w, cfg, reducedTiming(7.0))
+	ideal := Speedup(w, cfg, reducedTiming(0))
+	if partial > ideal {
+		t.Fatalf("partial %v exceeds ideal %v", partial, ideal)
+	}
+	if Speedup(w, cfg, dram.NominalTiming()) != 1 {
+		t.Fatal("nominal timing should give speedup exactly 1")
+	}
+}

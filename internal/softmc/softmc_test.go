@@ -1,0 +1,154 @@
+package softmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/errormodel"
+)
+
+func smallGeom() dram.Geometry {
+	return dram.Geometry{Banks: 2, SubarraysPerBank: 4, RowsPerSubarray: 8, RowBytes: 128}
+}
+
+func TestMeasureBERNominalIsZero(t *testing.T) {
+	d := dram.NewDevice(smallGeom(), dram.Vendors()[0], 1)
+	ber := MeasureBER(d, dram.Nominal(), 0xAA, 2)
+	if ber != 0 {
+		t.Fatalf("nominal BER = %v", ber)
+	}
+}
+
+func TestMeasureBERTracksExpectation(t *testing.T) {
+	vendor := dram.Vendors()[0]
+	d := dram.NewDevice(smallGeom(), vendor, 2)
+	op := dram.Nominal()
+	op.VDD = 1.05
+	got := MeasureBER(d, op, 0xAA, 6)
+	want := vendor.ExpectedBER(op)
+	if got < want/3 || got > want*3 {
+		t.Fatalf("measured %v, expected near %v", got, want)
+	}
+}
+
+func TestCharacterizeProfileShape(t *testing.T) {
+	d := dram.NewDevice(smallGeom(), dram.Vendors()[0], 3)
+	op := dram.Nominal()
+	op.VDD = 1.05
+	prof := Characterize(d, op, CharacterizeConfig{Reads: 3, MaxRows: 16})
+	if prof.RowBits != 128*8 {
+		t.Fatalf("RowBits = %d", prof.RowBits)
+	}
+	if len(prof.Cells) != 16*128*8 {
+		t.Fatalf("cells = %d, want %d", len(prof.Cells), 16*128*8)
+	}
+	// Every cell should have been read under both polarities across the
+	// four default patterns.
+	c := prof.Cells[0]
+	if c.OnesReads == 0 || c.ZerosReads == 0 {
+		t.Fatalf("cell lacks polarity coverage: %+v", c)
+	}
+	if prof.MeasuredBER() == 0 {
+		t.Fatal("stressed profile observed no errors")
+	}
+}
+
+func TestCharacterizeThenFitMatchesDeviceBER(t *testing.T) {
+	vendor := dram.Vendors()[0]
+	d := dram.NewDevice(smallGeom(), vendor, 4)
+	op := dram.Nominal()
+	op.VDD = 1.03
+	prof := Characterize(d, op, CharacterizeConfig{Reads: 4})
+	m := errormodel.Select(prof, 99)
+	deviceBER := vendor.ExpectedBER(op)
+	if got := m.AggregateBER(); got < deviceBER/4 || got > deviceBER*4 {
+		t.Fatalf("fitted model BER %v vs device %v", got, deviceBER)
+	}
+}
+
+func TestVendorSelectionMatchesStructure(t *testing.T) {
+	// Vendor A's uniform errors should select Model 0; vendor B's bitline
+	// structure should select Model 1; vendor C's wordline structure
+	// Model 2. This reproduces the paper's premise that different devices
+	// need different models (§4).
+	op := dram.Nominal()
+	op.VDD = 1.02
+	cases := []struct {
+		vendor string
+		want   errormodel.Kind
+	}{
+		{"A", errormodel.Model0},
+		{"B", errormodel.Model1},
+		{"C", errormodel.Model2},
+	}
+	for _, c := range cases {
+		v, _ := dram.VendorByName(c.vendor)
+		d := dram.NewDevice(smallGeom(), v, 5)
+		prof := Characterize(d, op, CharacterizeConfig{Reads: 6})
+		m := errormodel.Select(prof, 5)
+		if m.Kind != c.want {
+			t.Errorf("vendor %s selected %v, want %v", c.vendor, m.Kind, c.want)
+		}
+	}
+}
+
+func TestPartitionBERRespectsOperatingPoints(t *testing.T) {
+	d := dram.NewDevice(smallGeom(), dram.Vendors()[0], 6)
+	if err := d.DefinePartitions(4); err != nil {
+		t.Fatal(err)
+	}
+	low := dram.Nominal()
+	low.VDD = 1.02
+	mid := dram.Nominal()
+	mid.VDD = 1.15
+	d.SetPartitionOp(1, mid)
+	d.SetPartitionOp(3, low)
+	bers := PartitionBER(d, 0xAA, 4)
+	if len(bers) != 4 {
+		t.Fatalf("got %d partition BERs", len(bers))
+	}
+	if bers[0] != 0 || bers[2] != 0 {
+		t.Fatalf("nominal partitions show errors: %v", bers)
+	}
+	if !(bers[3] > bers[1] && bers[1] > 0) {
+		t.Fatalf("partition BERs not ordered by aggressiveness: %v", bers)
+	}
+}
+
+func TestProfilingCostScale(t *testing.T) {
+	// A 16-bank 4GB DDR4 module should profile in minutes, not hours — the
+	// paper reports under 4 minutes (§6.2).
+	big := dram.Geometry{Banks: 16, SubarraysPerBank: 64, RowsPerSubarray: 512, RowBytes: 8192}
+	secs := ProfilingCost(big, CharacterizeConfig{Reads: 4}, dram.NominalTiming())
+	if secs < 10 || secs > 600 {
+		t.Fatalf("profiling cost %v s, expected minutes scale", secs)
+	}
+	// Smaller modules must profile faster.
+	small := ProfilingCost(smallGeom(), CharacterizeConfig{Reads: 4}, dram.NominalTiming())
+	if small >= secs {
+		t.Fatal("smaller module did not profile faster")
+	}
+}
+
+func TestMeasureBERDataPatternOrdering(t *testing.T) {
+	// With voltage stress, patterns with more 1s should see higher BER
+	// (Fig. 5 top-row behaviour). With row inversion half the module holds
+	// the inverse, so compare 0xFF against 0xAA-style balance is washed;
+	// instead compare one-heavy vs zero-heavy within the same read without
+	// inversion bias by using ExpectedBER ordering as reference.
+	vendor := dram.Vendors()[0]
+	d := dram.NewDevice(smallGeom(), vendor, 7)
+	op := dram.Nominal()
+	op.VDD = 1.04
+	berFF := MeasureBER(d, op, 0xFF, 6)
+	berAA := MeasureBER(d, op, 0xAA, 6)
+	// Inverted-row layout makes both patterns half ones; rates should be
+	// similar (within noise), and both nonzero.
+	if berFF == 0 || berAA == 0 {
+		t.Fatal("no errors under stress")
+	}
+	if math.Abs(math.Log(berFF/berAA)) > math.Log(3) {
+		t.Fatalf("balanced patterns diverge too much: %v vs %v", berFF, berAA)
+	}
+}

@@ -1,0 +1,347 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul computes C = A (m×k) * B (k×n) into a freshly allocated m×n tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A (m×k) * Bᵀ where B is n×k. This is the layout
+// used by fully-connected layers, whose weights are stored out×in.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for p := 0; p < k; p++ {
+				sum += arow[p] * brow[p]
+			}
+			c.Data[i*n+j] = sum
+		}
+	}
+	return c
+}
+
+// Conv2DParams describes a 2-D convolution. Stride and padding are applied
+// symmetrically in both spatial dimensions.
+type Conv2DParams struct {
+	Stride  int
+	Padding int
+	// Groups partitions input and output channels; Groups == InChannels
+	// with one output channel per group yields a depthwise convolution.
+	Groups int
+}
+
+// ConvOutDim returns the spatial output extent for an input extent in,
+// kernel extent k, stride s, and padding p.
+func ConvOutDim(in, k, s, p int) int {
+	return (in+2*p-k)/s + 1
+}
+
+// Conv2D convolves input (N,C,H,W) with weights (F,C/groups,KH,KW) and an
+// optional bias of length F, producing (N,F,OH,OW).
+func Conv2D(in, w, bias *Tensor, p Conv2DParams) *Tensor {
+	if p.Stride <= 0 {
+		p.Stride = 1
+	}
+	if p.Groups <= 0 {
+		p.Groups = 1
+	}
+	n, c, h, wd := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	f, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	if c/p.Groups != cg {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch in=%d groups=%d wc=%d", c, p.Groups, cg))
+	}
+	oh := ConvOutDim(h, kh, p.Stride, p.Padding)
+	ow := ConvOutDim(wd, kw, p.Stride, p.Padding)
+	out := New(n, f, oh, ow)
+	fPerG := f / p.Groups
+	for b := 0; b < n; b++ {
+		for g := 0; g < p.Groups; g++ {
+			for fo := g * fPerG; fo < (g+1)*fPerG; fo++ {
+				var bv float32
+				if bias != nil {
+					bv = bias.Data[fo]
+				}
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						sum := bv
+						iy0 := oy*p.Stride - p.Padding
+						ix0 := ox*p.Stride - p.Padding
+						for ci := 0; ci < cg; ci++ {
+							cin := g*cg + ci
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								inBase := ((b*c+cin)*h + iy) * wd
+								wBase := ((fo*cg+ci)*kh + ky) * kw
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									sum += in.Data[inBase+ix] * w.Data[wBase+kx]
+								}
+							}
+						}
+						out.Data[((b*f+fo)*oh+oy)*ow+ox] = sum
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes the gradients of a Conv2D call: dIn (same shape as
+// in), dW (same shape as w), and dBias (length F, nil if bias was nil).
+func Conv2DBackward(in, w *Tensor, hasBias bool, dOut *Tensor, p Conv2DParams) (dIn, dW, dBias *Tensor) {
+	if p.Stride <= 0 {
+		p.Stride = 1
+	}
+	if p.Groups <= 0 {
+		p.Groups = 1
+	}
+	n, c, h, wd := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	f, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	oh, ow := dOut.shape[2], dOut.shape[3]
+	dIn = New(n, c, h, wd)
+	dW = New(f, cg, kh, kw)
+	if hasBias {
+		dBias = New(f)
+	}
+	fPerG := f / p.Groups
+	for b := 0; b < n; b++ {
+		for g := 0; g < p.Groups; g++ {
+			for fo := g * fPerG; fo < (g+1)*fPerG; fo++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						gv := dOut.Data[((b*f+fo)*oh+oy)*ow+ox]
+						if gv == 0 {
+							continue
+						}
+						if dBias != nil {
+							dBias.Data[fo] += gv
+						}
+						iy0 := oy*p.Stride - p.Padding
+						ix0 := ox*p.Stride - p.Padding
+						for ci := 0; ci < cg; ci++ {
+							cin := g*cg + ci
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								inBase := ((b*c+cin)*h + iy) * wd
+								wBase := ((fo*cg+ci)*kh + ky) * kw
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									dW.Data[wBase+kx] += gv * in.Data[inBase+ix]
+									dIn.Data[inBase+ix] += gv * w.Data[wBase+kx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dIn, dW, dBias
+}
+
+// MaxPool2D applies k×k max pooling with the given stride to (N,C,H,W) and
+// also returns the argmax index of each pooled window for use in backprop.
+func MaxPool2D(in *Tensor, k, stride int) (*Tensor, []int32) {
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := New(n, c, oh, ow)
+	arg := make([]int32, out.Size())
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride + ky
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride + kx
+							idx := ((b*c+ci)*h+iy)*w + ix
+							if v := in.Data[idx]; v > best {
+								best = v
+								bestIdx = int32(idx)
+							}
+						}
+					}
+					o := ((b*c+ci)*oh+oy)*ow + ox
+					out.Data[o] = best
+					arg[o] = bestIdx
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward scatters dOut back through the argmax indices recorded
+// by MaxPool2D, producing a gradient of shape inShape.
+func MaxPool2DBackward(dOut *Tensor, arg []int32, inShape Shape) *Tensor {
+	dIn := &Tensor{shape: inShape.Clone(), Data: make([]float32, inShape.Size())}
+	for i, g := range dOut.Data {
+		dIn.Data[arg[i]] += g
+	}
+	return dIn
+}
+
+// AvgPool2DGlobal averages each channel's spatial plane, producing (N,C,1,1).
+func AvgPool2DGlobal(in *Tensor) *Tensor {
+	n, c, h, w := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
+	out := New(n, c, 1, 1)
+	area := float32(h * w)
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			var sum float32
+			base := (b*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				sum += in.Data[base+i]
+			}
+			out.Data[b*c+ci] = sum / area
+		}
+	}
+	return out
+}
+
+// AvgPool2DGlobalBackward spreads dOut (N,C,1,1) uniformly over inShape.
+func AvgPool2DGlobalBackward(dOut *Tensor, inShape Shape) *Tensor {
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	dIn := New(n, c, h, w)
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			g := dOut.Data[b*c+ci] * inv
+			base := (b*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				dIn.Data[base+i] = g
+			}
+		}
+	}
+	return dIn
+}
+
+// Concat concatenates tensors along the channel axis (axis 1 of NCHW).
+// All inputs must agree in N, H and W.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	n, h, w := ts[0].shape[0], ts[0].shape[2], ts[0].shape[3]
+	totalC := 0
+	for _, t := range ts {
+		if t.shape[0] != n || t.shape[2] != h || t.shape[3] != w {
+			panic("tensor: Concat shape mismatch")
+		}
+		totalC += t.shape[1]
+	}
+	out := New(n, totalC, h, w)
+	plane := h * w
+	for b := 0; b < n; b++ {
+		coff := 0
+		for _, t := range ts {
+			c := t.shape[1]
+			src := t.Data[b*c*plane : (b+1)*c*plane]
+			dst := out.Data[(b*totalC+coff)*plane : (b*totalC+coff+c)*plane]
+			copy(dst, src)
+			coff += c
+		}
+	}
+	return out
+}
+
+// SplitChannels splits dOut along the channel axis into pieces with the
+// given channel counts, inverting Concat for backprop.
+func SplitChannels(dOut *Tensor, channels []int) []*Tensor {
+	n, totalC, h, w := dOut.shape[0], dOut.shape[1], dOut.shape[2], dOut.shape[3]
+	plane := h * w
+	outs := make([]*Tensor, len(channels))
+	coff := 0
+	for i, c := range channels {
+		t := New(n, c, h, w)
+		for b := 0; b < n; b++ {
+			src := dOut.Data[(b*totalC+coff)*plane : (b*totalC+coff+c)*plane]
+			copy(t.Data[b*c*plane:(b+1)*c*plane], src)
+		}
+		coff += c
+		outs[i] = t
+	}
+	if coff != totalC {
+		panic("tensor: SplitChannels channel counts do not sum to input channels")
+	}
+	return outs
+}
+
+// Softmax computes a numerically stable row-wise softmax of a rank-2 tensor.
+func Softmax(in *Tensor) *Tensor {
+	m, n := in.shape[0], in.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := in.Data[i*n : (i+1)*n]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		orow := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			orow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}

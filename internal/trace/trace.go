@@ -1,0 +1,78 @@
+// Package trace derives DRAM traffic summaries for DNN inference
+// workloads. It substitutes for the paper's ZSim/GPGPU-Sim memory traces:
+// instead of instruction-level simulation, each network's weight and
+// feature-map footprints are converted into 64-byte-line read/write streams
+// annotated with the locality properties that determine system behaviour —
+// how many accesses stream sequentially (prefetch-friendly, row-buffer
+// friendly) versus how many are data-dependent random accesses (YOLO's
+// non-maximum suppression and thresholding indexing, §7.1).
+package trace
+
+import (
+	"repro/internal/dnn"
+	"repro/internal/quant"
+)
+
+// LineBytes is the DRAM burst (cache line) granularity.
+const LineBytes = 64
+
+// RowBytes is the DRAM row size used to estimate row-buffer locality.
+const RowBytes = 2048
+
+// Workload summarizes one inference execution's DRAM behaviour.
+type Workload struct {
+	Model string
+	Batch int
+	// ReadBytes and WriteBytes are the DRAM traffic per inference pass.
+	ReadBytes  int
+	WriteBytes int
+	// SeqLines stream sequentially (prefetcher captures them; one row
+	// activation covers a whole row of lines). RandLines are data-dependent
+	// accesses that miss the row buffer and defeat the prefetcher.
+	SeqLines   uint64
+	RandLines  uint64
+	WriteLines uint64
+	// MemoryIntensity is the fraction of nominal execution time bound by
+	// memory traffic (calibration knob from the model spec).
+	MemoryIntensity float64
+}
+
+// FromModel builds the workload summary for one zoo model at a precision
+// and batch size. Weights are read once per batch (on-chip reuse across the
+// batch, as in the paper's cached inference); IFMs are read and OFMs
+// written once per sample.
+func FromModel(spec dnn.ModelSpec, net *dnn.Network, prec quant.Precision, batch int) Workload {
+	scale := float64(prec.Bits()) / 32
+	weightBytes := int(float64(net.WeightBytes()) * scale)
+	ifmBytes := int(float64(net.IFMBytes()) * scale)
+
+	readBytes := weightBytes + ifmBytes*batch
+	writeBytes := ifmBytes * batch // every layer's OFM is the next IFM
+
+	readLines := uint64((readBytes + LineBytes - 1) / LineBytes)
+	randLines := uint64(float64(readLines) * spec.RandomAccessFrac)
+	w := Workload{
+		Model:           spec.Name,
+		Batch:           batch,
+		ReadBytes:       readBytes,
+		WriteBytes:      writeBytes,
+		SeqLines:        readLines - randLines,
+		RandLines:       randLines,
+		WriteLines:      uint64((writeBytes + LineBytes - 1) / LineBytes),
+		MemoryIntensity: spec.MemoryIntensity,
+	}
+	return w
+}
+
+// Activations estimates ACT command count: sequential streams activate one
+// row per RowBytes of data; every random line is its own activation.
+func (w Workload) Activations() uint64 {
+	linesPerRow := uint64(RowBytes / LineBytes)
+	seqActs := (w.SeqLines + w.WriteLines + linesPerRow - 1) / linesPerRow
+	return seqActs + w.RandLines
+}
+
+// TotalLines returns all DRAM line transfers.
+func (w Workload) TotalLines() uint64 {
+	return w.SeqLines + w.RandLines + w.WriteLines
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/quant"
+)
+
+func workloadFor(t *testing.T, name string, prec quant.Precision) Workload {
+	t.Helper()
+	spec, err := dnn.LookupSpec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dnn.BuildModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromModel(spec, net, prec, 16)
+}
+
+func TestWorkloadBasics(t *testing.T) {
+	w := workloadFor(t, "LeNet", quant.FP32)
+	if w.ReadBytes <= 0 || w.WriteBytes <= 0 {
+		t.Fatalf("empty traffic: %+v", w)
+	}
+	if w.SeqLines == 0 {
+		t.Fatal("no sequential lines")
+	}
+	if w.TotalLines() != w.SeqLines+w.RandLines+w.WriteLines {
+		t.Fatal("TotalLines inconsistent")
+	}
+}
+
+func TestPrecisionScalesTraffic(t *testing.T) {
+	fp32 := workloadFor(t, "VGG-16", quant.FP32)
+	int8 := workloadFor(t, "VGG-16", quant.Int8)
+	ratio := float64(fp32.ReadBytes) / float64(int8.ReadBytes)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("FP32/int8 traffic ratio %v, want ~4", ratio)
+	}
+}
+
+func TestYOLOHasMoreRandomAccesses(t *testing.T) {
+	yolo := workloadFor(t, "YOLO", quant.Int8)
+	resnet := workloadFor(t, "ResNet101", quant.Int8)
+	yoloFrac := float64(yolo.RandLines) / float64(yolo.SeqLines+yolo.RandLines)
+	resnetFrac := float64(resnet.RandLines) / float64(resnet.SeqLines+resnet.RandLines)
+	if yoloFrac <= resnetFrac*3 {
+		t.Fatalf("YOLO random fraction %v not clearly above ResNet %v", yoloFrac, resnetFrac)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	w := Workload{SeqLines: 320, RandLines: 10, WriteLines: 0}
+	// 320 sequential lines at 32 lines/row = 10 activations, plus 10 random.
+	if got := w.Activations(); got != 20 {
+		t.Fatalf("Activations = %d, want 20", got)
+	}
+}
+
+func TestBatchScalesIFMTrafficOnly(t *testing.T) {
+	spec, _ := dnn.LookupSpec("LeNet")
+	net, _ := dnn.BuildModel("LeNet")
+	b1 := FromModel(spec, net, quant.FP32, 1)
+	b16 := FromModel(spec, net, quant.FP32, 16)
+	// Weights read once per batch, IFMs per sample: traffic grows with
+	// batch but sublinearly in the weight component.
+	if b16.ReadBytes <= b1.ReadBytes {
+		t.Fatal("batch did not grow traffic")
+	}
+	weightBytes := net.WeightBytes()
+	if b16.ReadBytes-b1.ReadBytes != 15*net.IFMBytes() {
+		t.Fatalf("batch growth %d, want 15×IFM %d", b16.ReadBytes-b1.ReadBytes, 15*net.IFMBytes())
+	}
+	_ = weightBytes
+}
