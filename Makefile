@@ -1,0 +1,22 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI are the
+# same invocations.
+
+GO ?= go
+
+.PHONY: build test race bench lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/tensor/ ./internal/dnn/ ./internal/parallel/ ./internal/eden/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dnn/
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/errormodel"
+	"repro/internal/parallel"
 	"repro/internal/softmc"
 )
 
@@ -18,7 +19,9 @@ func main() {
 	vendorName := flag.String("vendor", "A", "vendor profile: A, B or C")
 	seed := flag.Uint64("seed", 1, "device seed (chip instance)")
 	reads := flag.Int("reads", 4, "reads per pattern during characterization")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	vendor, err := dram.VendorByName(*vendorName)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"repro/internal/eden"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 )
 
@@ -20,7 +21,9 @@ func main() {
 	drop := flag.Float64("maxdrop", 0.01, "maximum tolerated accuracy drop")
 	epochs := flag.Int("epochs", 8, "curricular retraining epochs per round")
 	rounds := flag.Int("rounds", 1, "boost/characterize rounds")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	p, err := parsePrecision(*prec)
 	if err != nil {

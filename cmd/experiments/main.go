@@ -10,10 +10,13 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 	sel := map[string]bool{}
 	for _, a := range flag.Args() {
 		sel[a] = true

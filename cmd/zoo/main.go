@@ -8,11 +8,14 @@ import (
 	"log"
 
 	"repro/internal/dnn"
+	"repro/internal/parallel"
 )
 
 func main() {
 	train := flag.Bool("train", false, "train (or load cached) models and print baselines")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	fmt.Printf("%-14s %-8s %9s %12s %12s %7s\n",
 		"Model", "Task", "Params", "Weights", "IFM+Weights", "Layers")

@@ -5,4 +5,15 @@
 // under cmd/, usage examples under examples/, and the benchmark harness
 // that regenerates every table and figure of the paper's evaluation in
 // bench_test.go.
+//
+// # Parallel execution
+//
+// All hot paths share the worker pool in internal/parallel: tensor
+// kernels (row-blocked MatMul, output-channel-parallel Conv2D), batched
+// inference (dnn.Network.ForwardBatch with per-sample corruptor clones),
+// and the characterization and sweep loops in internal/eden and
+// internal/experiments, which run one operating point per worker. The
+// pool defaults to GOMAXPROCS and every cmd binary exposes it as
+// -workers. Parallel results are bit-identical to serial ones at any
+// worker count; see README.md for the architecture.
 package repro

@@ -11,7 +11,6 @@ type Residual struct {
 	Body      Layer
 	Project   Layer // 1×1 conv path when shapes change, else nil
 	relu      ReLU
-	sumCache  *tensor.Tensor
 }
 
 // Name returns the block name.
@@ -81,7 +80,6 @@ type Fire struct {
 	Expand1   Layer
 	Expand3   Layer
 	e1C, e3C  int
-	sqOut     *tensor.Tensor
 }
 
 // NewFire builds a fire module with s squeeze channels and e1+e3 expand
@@ -111,7 +109,6 @@ func (l *Fire) Name() string { return l.LayerName }
 // Forward squeezes then expands along two parallel paths.
 func (l *Fire) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	s := l.Squeeze.Forward(x, train)
-	l.sqOut = s
 	a := l.Expand1.Forward(s, train)
 	b := l.Expand3.Forward(s, train)
 	return tensor.Concat(a, b)

@@ -1,0 +1,125 @@
+package dnn
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// batchInputs builds n deterministic input tensors for spec-shaped models.
+func batchInputs(n int, net *Network, seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		xs[i] = tensor.New(1, net.InC, net.InH, net.InW)
+		xs[i].FillUniform(rng, -1, 1)
+	}
+	return xs
+}
+
+// TestForwardBatchBitIdenticalToSerial runs every zoo architecture through
+// ForwardBatch at several worker counts and demands bit-exact agreement
+// with serial per-sample Forward calls. Running under -race this also
+// proves inference-mode forwards over a shared network are data-race-free.
+func TestForwardBatchBitIdenticalToSerial(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	for _, spec := range Zoo {
+		net, err := BuildModel(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := batchInputs(6, net, 0xBA7C4)
+		parallel.SetWorkers(1)
+		want := make([]*tensor.Tensor, len(xs))
+		for i, x := range xs {
+			want[i] = net.Forward(x, false, nil)
+		}
+		for _, w := range []int{1, 2, 4} {
+			parallel.SetWorkers(w)
+			got := net.ForwardBatch(xs, BatchOptions{})
+			for i := range xs {
+				if !got[i].Shape().Equal(want[i].Shape()) {
+					t.Fatalf("%s workers=%d sample %d: shape %v != %v",
+						spec.Name, w, i, got[i].Shape(), want[i].Shape())
+				}
+				for j := range want[i].Data {
+					if got[i].Data[j] != want[i].Data[j] {
+						t.Fatalf("%s workers=%d sample %d: element %d differs: %v != %v",
+							spec.Name, w, i, j, got[i].Data[j], want[i].Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchHookFor checks that per-sample hooks receive their own
+// sample index and see the right input.
+func TestForwardBatchHookFor(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	parallel.SetWorkers(4)
+	net, err := BuildModel("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := batchInputs(8, net, 0x500)
+	seen := make([]int32, len(xs))
+	outs := net.ForwardBatch(xs, BatchOptions{
+		HookFor: func(sample int) IFMHook {
+			// Each returned hook closes over its own counter; the shared
+			// seen slice is written once per sample at disjoint indices.
+			first := true
+			return func(i int, l Layer, x *tensor.Tensor) *tensor.Tensor {
+				if first {
+					first = false
+					seen[sample] = 1
+					if x != xs[sample] {
+						t.Errorf("sample %d hooked with wrong input", sample)
+					}
+				}
+				return x
+			}
+		},
+	})
+	if len(outs) != len(xs) {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("sample %d hook never ran", i)
+		}
+	}
+}
+
+// TestParallelTrainingBitIdentical pins the stronger property the model
+// cache relies on: full training (forward, backward, SGD) produces
+// bit-identical weights at any worker count, because every parallel kernel
+// preserves the serial accumulation order.
+func TestParallelTrainingBitIdentical(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	train := func(workers int) *Network {
+		parallel.SetWorkers(workers)
+		full := tinyPatterns(64)
+		net, err := BuildModel("LeNet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		TrainClassifier(net, full, TrainOptions{Epochs: 1, Batch: 8, LR: 0.01, Seed: 42})
+		return net
+	}
+	ref := train(1)
+	par := train(4)
+	rs, ps := ref.StateTensors(), par.StateTensors()
+	for i := range rs {
+		for j := range rs[i].T.Data {
+			if rs[i].T.Data[j] != ps[i].T.Data[j] {
+				t.Fatalf("tensor %s element %d: %v != %v after parallel training",
+					rs[i].Name, j, ps[i].T.Data[j], rs[i].T.Data[j])
+			}
+		}
+	}
+}

@@ -66,12 +66,12 @@ func NewConv(name string, inC, outC, k int, p tensor.Conv2DParams, bias bool, rn
 // Name returns the layer name.
 func (l *Conv) Name() string { return l.LayerName }
 
-// Forward convolves x with the layer weights.
+// Forward convolves x with the layer weights. Inference-mode forwards
+// (train == false) touch no layer state, so a network may run concurrent
+// evaluation passes over shared weights (see Network.ForwardBatch).
 func (l *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.lastInput = x
-	} else {
-		l.lastInput = nil
 	}
 	var b *tensor.Tensor
 	if l.Bias != nil {
@@ -83,6 +83,7 @@ func (l *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward propagates dOut and accumulates weight/bias gradients.
 func (l *Conv) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	dIn, dW, dB := tensor.Conv2DBackward(l.lastInput, l.Weight.W, l.Bias != nil, dOut, l.P)
+	l.lastInput = nil
 	l.Weight.G.AddScaled(dW, 1)
 	if l.Bias != nil {
 		l.Bias.G.AddScaled(dB, 1)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -38,6 +39,35 @@ func (n *Network) Forward(x *tensor.Tensor, train bool, hook IFMHook) *tensor.Te
 		x = l.Forward(x, train)
 	}
 	return x
+}
+
+// BatchOptions configures ForwardBatch.
+type BatchOptions struct {
+	// HookFor supplies sample i's IFM hook, or nil for no hook. Hooks for
+	// different samples run concurrently and must therefore not share
+	// mutable state; eden corruptors provide deterministically seeded
+	// per-sample clones for exactly this purpose (SoftwareDRAM.SampleHooks).
+	HookFor func(sample int) IFMHook
+}
+
+// ForwardBatch runs one inference-mode forward pass per input, fanning the
+// independent samples across the shared worker pool. Layer weights and
+// running statistics are read-only during inference (layers cache state
+// only when train is set), so the passes share the network; every
+// activation buffer is allocated inside its own pass, which makes the
+// scratch state per-goroutine by construction. The returned slice is
+// positionally aligned with xs and bit-identical to calling Forward on each
+// sample serially, at any worker count.
+func (n *Network) ForwardBatch(xs []*tensor.Tensor, opt BatchOptions) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(xs))
+	parallel.ForEach(len(xs), func(i int) {
+		var hook IFMHook
+		if opt.HookFor != nil {
+			hook = opt.HookFor(i)
+		}
+		outs[i] = n.Forward(xs[i], false, hook)
+	})
+	return outs
 }
 
 // Backward propagates dOut through all layers, accumulating parameter
@@ -144,6 +174,28 @@ func (n *Network) Accuracy(ds *dataset.Dataset, opt EvalOptions) float64 {
 	total := ds.Len()
 	if opt.MaxSamples > 0 && opt.MaxSamples < total {
 		total = opt.MaxSamples
+	}
+	if opt.Hook == nil && total > 1 && parallel.Workers() > 1 {
+		// Hook-free evaluation: the samples are independent, so they fan
+		// out one per worker through ForwardBatch. Per-sample forwards are
+		// bit-identical to batched ones (every kernel treats batch rows
+		// independently), so the returned accuracy matches the serial
+		// batched path exactly. Hooked evaluation stays on that path
+		// because a single IFM hook is shared mutable state.
+		xs := make([]*tensor.Tensor, total)
+		labels := make([]int, total)
+		for i := 0; i < total; i++ {
+			x, lab := ds.Batch([]int{i})
+			xs[i] = x
+			labels[i] = lab[0]
+		}
+		correct := 0
+		for i, logits := range n.ForwardBatch(xs, BatchOptions{}) {
+			if argmaxRow(logits, 0, logits.Dim(1)) == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(total)
 	}
 	correct := 0
 	for start := 0; start < total; start += opt.Batch {

@@ -33,8 +33,17 @@ func (m *TrainedModel) Metric(opt EvalOptions) float64 {
 // CloneNet rebuilds the architecture and copies trained state into it, so
 // callers can corrupt or retrain a copy without touching the cached model.
 func (m *TrainedModel) CloneNet() *Network {
+	return m.CloneNetFrom(m.Net)
+}
+
+// CloneNetFrom rebuilds the architecture and copies net's inference state
+// into the fresh copy. net must share m's architecture (m.Net itself or a
+// boosted/pruned derivative). Parallel evaluation sweeps clone the network
+// per worker this way, because weight corruption mutates the network under
+// test in place.
+func (m *TrainedModel) CloneNetFrom(net *Network) *Network {
 	fresh := mustBuild(m.Spec.Name)
-	src := m.Net.StateTensors()
+	src := net.StateTensors()
 	dst := fresh.StateTensors()
 	for i := range src {
 		copy(dst[i].T.Data, src[i].T.Data)

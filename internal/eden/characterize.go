@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/errormodel"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 )
 
@@ -40,27 +41,43 @@ func DefaultCharacterize() CharacterizeConfig {
 }
 
 // evalAt measures net's mean task metric at a BER, averaged over Repeats
-// transient draws.
+// transient draws. The draws are independent probes — each owns a fresh
+// corruptor and (when fanned out) a clone of the network under test, since
+// weight corruption mutates the network in place — so they run one per
+// worker. Per-draw results land in a slot indexed by the draw and are
+// reduced in draw order, keeping the mean bit-identical to a serial run.
 func evalAt(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, ber float64, cfg CharacterizeConfig, berByData map[string]float64) float64 {
 	reps := cfg.Repeats
 	if reps <= 0 {
 		reps = 1
 	}
-	var sum float64
-	for r := 0; r < reps; r++ {
+	probe := func(r int, n *dnn.Network) float64 {
 		corr := NewSoftwareDRAM(m, cfg.Prec)
 		corr.BER = ber
 		corr.BERByData = berByData
-		corr.CalibrateNet(tm, net, 16, 0)
+		corr.CalibrateNet(tm, n, 16, 0)
 		for i := 0; i < r; i++ {
 			corr.NextPass()
 		}
 		opt := corr.EvalOptions(cfg.MaxSamples)
 		if tm.Spec.Task == dnn.Detect {
-			sum += net.MAP(tm.BoxValSet, opt)
-		} else {
-			sum += net.Accuracy(tm.ValSet, opt)
+			return n.MAP(tm.BoxValSet, opt)
 		}
+		return n.Accuracy(tm.ValSet, opt)
+	}
+	sums := make([]float64, reps)
+	if reps == 1 || parallel.Workers() == 1 {
+		for r := range sums {
+			sums[r] = probe(r, net)
+		}
+	} else {
+		parallel.ForEach(reps, func(r int) {
+			sums[r] = probe(r, tm.CloneNetFrom(net))
+		})
+	}
+	var sum float64
+	for _, v := range sums {
+		sum += v
 	}
 	return sum / float64(reps)
 }
@@ -107,6 +124,16 @@ func CoarseCharacterize(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Mo
 // the coarse BER (the paper's bootstrap), then a sweep repeatedly tries to
 // raise each data type's rate by a multiplicative increment, dropping data
 // types from the sweep list once they fail. maxRounds bounds the sweep.
+//
+// Within a round every live data type's trial raise is probed against the
+// round-start map, independently of the other trials — this is what lets
+// the probes fan out one per worker, and it makes the sweep's outcome a
+// function of the seed alone, not of worker count or probe order. Accepted
+// raises are committed together when the round ends and the combined map
+// is then re-validated against the floor: raises that pass individually
+// can still fail jointly, and the returned map must never violate the
+// accuracy target, so a failing joint check rolls the round back and ends
+// the sweep with the last map known to meet the floor.
 func FineCharacterize(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, coarseBER float64, cfg CharacterizeConfig, maxRounds int) map[string]float64 {
 	if coarseBER <= 0 {
 		coarseBER = cfg.BERLo
@@ -128,18 +155,38 @@ func FineCharacterize(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Mode
 		maxRounds = 6
 	}
 	for round := 0; round < maxRounds && len(live) > 0; round++ {
-		var next []string
-		for _, id := range live {
+		accepted := make([]bool, len(live))
+		parallel.ForEach(len(live), func(j int) {
+			id := live[j]
 			trial := tol[id] + step
 			if trial > cfg.BERHi {
-				continue
+				return
 			}
-			tol[id] = trial
-			metric := evalAt(tm, net, m, coarseBER, cfg, tol)
-			if metric >= floor {
-				next = append(next, id)
-			} else {
-				tol[id] = trial - step
+			trialMap := make(map[string]float64, len(tol))
+			for k, v := range tol {
+				trialMap[k] = v
+			}
+			trialMap[id] = trial
+			n := net
+			if parallel.Workers() > 1 {
+				n = tm.CloneNetFrom(net)
+			}
+			accepted[j] = evalAt(tm, n, m, coarseBER, cfg, trialMap) >= floor
+		})
+		var next []string
+		for j, ok := range accepted {
+			if ok {
+				tol[live[j]] += step
+				next = append(next, live[j])
+			}
+		}
+		if len(next) > 1 {
+			// Joint re-validation of this round's combined raises.
+			if evalAt(tm, net, m, coarseBER, cfg, tol) < floor {
+				for _, id := range next {
+					tol[id] -= step
+				}
+				break
 			}
 		}
 		live = next

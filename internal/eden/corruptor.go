@@ -180,6 +180,58 @@ func (s *SoftwareDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor
 // NextPass advances the transient error draw.
 func (s *SoftwareDRAM) NextPass() { s.passCount++ }
 
+// Clone returns an independent corruptor sharing the fitted model and
+// configuration but owning its own layout caches, pass counter and bounding
+// logic. A SoftwareDRAM is single-goroutine state (corruptTensor mutates the
+// weak-cell caches and correction counters), so parallel evaluation gives
+// each goroutine a clone. The clone starts its transient error draws at
+// pass; distinct pass values yield deterministically different draws, which
+// is how per-sample error streams are seeded.
+func (s *SoftwareDRAM) Clone(pass uint64) *SoftwareDRAM {
+	c := &SoftwareDRAM{
+		Model:      s.Model,
+		Prec:       s.Prec,
+		Policy:     s.Policy,
+		BER:        s.BER,
+		BERByData:  s.BERByData, // read-only after setup; safe to share
+		ForceQuant: s.ForceQuant,
+		Bounds:     make(map[string]memctrl.Bounds, len(s.Bounds)),
+		Logic:      memctrl.BoundingLogic{Policy: s.Policy},
+		offsets:    make(map[string]int, len(s.offsets)),
+		weakPos:    make(map[string][]int32, len(s.weakPos)),
+		weakSpan:   make(map[string]int, len(s.weakSpan)),
+		nextBit:    s.nextBit,
+		passCount:  pass,
+	}
+	for k, v := range s.Bounds {
+		c.Bounds[k] = v
+	}
+	for k, v := range s.offsets {
+		c.offsets[k] = v
+	}
+	// Weak-cell position lists are append-only results keyed by data ID;
+	// the clone may replace its own map entries but never mutates the
+	// shared backing arrays, so sharing them is safe and avoids recomputing
+	// the per-data weak populations.
+	for k, v := range s.weakPos {
+		c.weakPos[k] = v
+	}
+	for k, v := range s.weakSpan {
+		c.weakSpan[k] = v
+	}
+	return c
+}
+
+// SampleHooks adapts the corruptor to dnn.BatchOptions: sample i receives
+// an independent clone whose transient error draw is seeded with base+i, so
+// a parallel ForwardBatch corrupts every sample through its own
+// deterministic error stream regardless of goroutine scheduling.
+func (s *SoftwareDRAM) SampleHooks(base uint64) func(int) dnn.IFMHook {
+	return func(i int) dnn.IFMHook {
+		return s.Clone(base + uint64(i)).IFMHook()
+	}
+}
+
 // CorruptWeights overwrites every parameter with its approximate-DRAM image
 // and returns a function that restores the clean weights.
 func (s *SoftwareDRAM) CorruptWeights(net *dnn.Network) (restore func()) {

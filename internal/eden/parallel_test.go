@@ -1,0 +1,165 @@
+package eden
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/parallel"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func setWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := parallel.Workers()
+	parallel.SetWorkers(n)
+	t.Cleanup(func() { parallel.SetWorkers(prev) })
+}
+
+// TestCorruptedForwardBatchDeterministic runs corrupted batched inference
+// with per-sample corruptor clones and demands the outputs be a pure
+// function of the sample index — independent of worker count and
+// scheduling. Under -race this is also the shared-corruptor aliasing test:
+// every goroutine corrupts through its own clone.
+func TestCorruptedForwardBatchDeterministic(t *testing.T) {
+	tm := lenet(t)
+	corr := NewSoftwareDRAM(uniformModel(5e-3), quant.Int8)
+	corr.Calibrate(tm, 16, 0)
+
+	rng := tensor.NewRNG(0xC0DE)
+	xs := make([]*tensor.Tensor, 8)
+	for i := range xs {
+		xs[i] = tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+		xs[i].FillUniform(rng, -1, 1)
+	}
+
+	run := func(workers int) []*tensor.Tensor {
+		setWorkers(t, workers)
+		return tm.Net.ForwardBatch(xs, dnn.BatchOptions{HookFor: corr.SampleHooks(100)})
+	}
+	want := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		for i := range want {
+			for j := range want[i].Data {
+				if got[i].Data[j] != want[i].Data[j] {
+					t.Fatalf("workers=%d sample %d element %d: %v != %v",
+						w, i, j, got[i].Data[j], want[i].Data[j])
+				}
+			}
+		}
+	}
+
+	// Distinct sample seeds must yield distinct transient error draws: two
+	// clones at different passes corrupting the same tensor disagree once
+	// the BER makes flips near-certain.
+	noisy := NewSoftwareDRAM(uniformModel(0.2), quant.Int8)
+	noisy.Calibrate(tm, 16, 0)
+	probe := tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+	probe.FillUniform(tensor.NewRNG(11), -1, 1)
+	a := noisy.Clone(100).corruptTensor(probe, "ifm:seedprobe")
+	b := noisy.Clone(101).corruptTensor(probe, "ifm:seedprobe")
+	same := true
+	for j := range a.Data {
+		if a.Data[j] != b.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("per-sample seeding produced identical error draws for different passes")
+	}
+}
+
+// TestCloneMatchesOriginalStream checks that a clone at the corruptor's
+// current pass corrupts exactly like the original would.
+func TestCloneMatchesOriginalStream(t *testing.T) {
+	tm := lenet(t)
+	mk := func() *SoftwareDRAM {
+		c := NewSoftwareDRAM(uniformModel(1e-2), quant.Int8)
+		c.Calibrate(tm, 16, 0)
+		return c
+	}
+	orig := mk()
+	clone := mk().Clone(0)
+	x := tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+	x.FillUniform(tensor.NewRNG(7), -1, 1)
+	a := orig.corruptTensor(x, "ifm:probe")
+	b := clone.corruptTensor(x, "ifm:probe")
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("clone diverged at element %d: %v != %v", i, b.Data[i], a.Data[i])
+		}
+	}
+}
+
+// TestSweepBERMatchesSerial pins the fan-out helper to the serial
+// reference: one EvalWithModel per BER on a fresh network clone.
+func TestSweepBERMatchesSerial(t *testing.T) {
+	tm := lenet(t)
+	em := uniformModel(1)
+	bers := []float64{1e-4, 1e-3, 5e-3}
+
+	setWorkers(t, 1)
+	want := make([]float64, len(bers))
+	for i, ber := range bers {
+		want[i] = EvalWithModel(tm, tm.CloneNet(), em, ber, quant.FP32, 40)
+	}
+	for _, w := range []int{1, 4} {
+		setWorkers(t, w)
+		got := SweepBER(tm, tm.Net, em, bers, quant.FP32, 40)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d ber=%g: %v != %v", w, bers[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCoarseCharacterizeWorkerInvariant runs the binary search (whose
+// repeated probes fan out) at several worker counts and demands the same
+// tolerable BER.
+func TestCoarseCharacterizeWorkerInvariant(t *testing.T) {
+	tm := lenet(t)
+	cfg := DefaultCharacterize()
+	cfg.MaxSamples = 30
+	cfg.Repeats = 2
+	cfg.SearchSteps = 4
+	em := uniformModel(0.01)
+
+	setWorkers(t, 1)
+	want := CoarseCharacterize(tm, tm.Net, em, cfg)
+	for _, w := range []int{2, 4} {
+		setWorkers(t, w)
+		if got := CoarseCharacterize(tm, tm.Net, em, cfg); got != want {
+			t.Fatalf("workers=%d: tolerable BER %v != %v", w, got, want)
+		}
+	}
+}
+
+// TestFineCharacterizeWorkerInvariant does the same for the fine-grained
+// sweep, whose per-data-type probes run one per worker within a round.
+func TestFineCharacterizeWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fine characterization sweep in -short mode")
+	}
+	tm := lenet(t)
+	cfg := DefaultCharacterize()
+	cfg.MaxSamples = 20
+	cfg.Repeats = 1
+	cfg.SearchSteps = 3
+	em := uniformModel(0.01)
+
+	setWorkers(t, 1)
+	want := FineCharacterize(tm, tm.Net, em, 1e-3, cfg, 2)
+	setWorkers(t, 4)
+	got := FineCharacterize(tm, tm.Net, em, 1e-3, cfg, 2)
+	if len(got) != len(want) {
+		t.Fatalf("map sizes differ: %d != %d", len(got), len(want))
+	}
+	for id, v := range want {
+		if got[id] != v {
+			t.Fatalf("data %s: tolerable BER %v != %v across worker counts", id, got[id], v)
+		}
+	}
+}

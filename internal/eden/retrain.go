@@ -3,6 +3,7 @@ package eden
 import (
 	"repro/internal/dnn"
 	"repro/internal/memctrl"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 
 	"repro/internal/errormodel"
@@ -116,4 +117,22 @@ func EvalWithModel(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, 
 		return net.MAP(tm.BoxValSet, opt)
 	}
 	return net.Accuracy(tm.ValSet, opt)
+}
+
+// SweepBER runs EvalWithModel at every BER concurrently — one operating
+// point per worker, the natural fan-out of EDEN's accuracy-versus-BER
+// sweeps. Each probe owns a clone of net (weight corruption mutates the
+// network under test in place) and its own corruptor, and results land in
+// BER-indexed slots, so the returned curve is bit-identical to serial
+// EvalWithModel calls at any worker count.
+func SweepBER(tm *dnn.TrainedModel, net *dnn.Network, m *errormodel.Model, bers []float64, prec quant.Precision, maxSamples int) []float64 {
+	out := make([]float64, len(bers))
+	parallel.ForEach(len(bers), func(i int) {
+		n := net
+		if parallel.Workers() > 1 {
+			n = tm.CloneNetFrom(net)
+		}
+		out[i] = EvalWithModel(tm, n, m, bers[i], prec, maxSamples)
+	})
+	return out
 }

@@ -2,6 +2,8 @@ package errormodel
 
 import (
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // CellObs is a per-cell characterization record: how many times the cell
@@ -157,9 +159,16 @@ func FitModel3(p *Profile, seed uint64) *Model {
 	return m
 }
 
-// FitAll fits every model kind to the profile.
+// FitAll fits every model kind to the profile. The four fits read the
+// profile independently and fan out across the worker pool, landing in
+// kind-indexed slots so the result is identical to fitting serially.
 func FitAll(p *Profile, seed uint64) []*Model {
-	return []*Model{FitModel0(p, seed), FitModel1(p, seed), FitModel2(p, seed), FitModel3(p, seed)}
+	fits := []func(*Profile, uint64) *Model{FitModel0, FitModel1, FitModel2, FitModel3}
+	out := make([]*Model, len(fits))
+	parallel.ForEach(len(fits), func(i int) {
+		out[i] = fits[i](p, seed)
+	})
+	return out
 }
 
 // LogLikelihood scores how well the model explains the profile. Each cell

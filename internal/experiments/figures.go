@@ -9,8 +9,35 @@ import (
 	"repro/internal/eden"
 	"repro/internal/errormodel"
 	"repro/internal/memctrl"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 )
+
+// opPoint labels one DRAM operating point of a sweep. The voltage and tRCD
+// sweeps probe each point independently — one operating point per worker —
+// with per-probe network clones, because weight corruption mutates the
+// network under test in place.
+type opPoint struct {
+	label string
+	op    dram.OperatingPoint
+}
+
+// vddAndTRCDPoints builds the standard sweep: one point per supply voltage,
+// then one per tRCD reduction.
+func vddAndTRCDPoints(vdds, trcds []float64) []opPoint {
+	var pts []opPoint
+	for _, vdd := range vdds {
+		op := dram.Nominal()
+		op.VDD = vdd
+		pts = append(pts, opPoint{fmt.Sprintf("VDD=%.2fV", vdd), op})
+	}
+	for _, trcd := range trcds {
+		op := dram.Nominal()
+		op.Timing.TRCD = trcd
+		pts = append(pts, opPoint{fmt.Sprintf("tRCD=%.1fns", trcd), op})
+	}
+	return pts
+}
 
 // deviceFor builds the standard experiment module for a vendor.
 func deviceFor(vendor string, seed uint64) *dram.Device {
@@ -66,22 +93,16 @@ func Figure7ModelValidation() (Report, error) {
 	for _, vendor := range []string{"A", "B", "C"} {
 		v, _ := dram.VendorByName(vendor)
 		em := fittedModel(vendor)
-		probe := func(label string, op dram.OperatingPoint) {
-			dev := deviceMetric(tm, tm.Net, vendor, op, 60)
-			ber := v.ExpectedBER(op)
-			mod := eden.EvalWithModel(tm, tm.Net, em, ber, quant.FP32, 60)
-			r.Rows = append(r.Rows, fmt.Sprintf("%-7s %-12s %8.1f%% %8.1f%%", vendor, label, dev*100, mod*100))
-		}
-		for _, vdd := range []float64{1.20, 1.10, 1.05} {
-			op := dram.Nominal()
-			op.VDD = vdd
-			probe(fmt.Sprintf("VDD=%.2fV", vdd), op)
-		}
-		for _, trcd := range []float64{9.0, 7.5, 6.0} {
-			op := dram.Nominal()
-			op.Timing.TRCD = trcd
-			probe(fmt.Sprintf("tRCD=%.1fns", trcd), op)
-		}
+		pts := vddAndTRCDPoints([]float64{1.20, 1.10, 1.05}, []float64{9.0, 7.5, 6.0})
+		rows := make([]string, len(pts))
+		parallel.ForEach(len(pts), func(i int) {
+			p := pts[i]
+			dev := deviceMetric(tm, tm.CloneNet(), vendor, p.op, 60)
+			ber := v.ExpectedBER(p.op)
+			mod := eden.EvalWithModel(tm, tm.CloneNet(), em, ber, quant.FP32, 60)
+			rows[i] = fmt.Sprintf("%-7s %-12s %8.1f%% %8.1f%%", vendor, p.label, dev*100, mod*100)
+		})
+		r.Rows = append(r.Rows, rows...)
 	}
 	return r, nil
 }
@@ -101,12 +122,13 @@ func Figure8ToleranceCurves() (Report, error) {
 		"Error Model 2": wordlineModel(),
 		"Error Model 3": {Kind: errormodel.Model3, Seed: 3, RowBits: 16384, P: 1, FV1: 1.6, FV0: 0.4},
 	}
+	bers := []float64{1e-4, 1e-3, 1e-2, 5e-2, 1e-1}
 	for _, name := range []string{"Error Model 0", "Error Model 1", "Error Model 2", "Error Model 3"} {
 		em := models[name]
 		for _, prec := range []quant.Precision{quant.Int4, quant.Int8, quant.Int16, quant.FP32} {
-			for _, ber := range []float64{1e-4, 1e-3, 1e-2, 5e-2, 1e-1} {
-				acc := eden.EvalWithModel(tm, tm.Net, em, ber, prec, 40)
-				r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.0e %7.1f%%", name, prec, ber, acc*100))
+			accs := eden.SweepBER(tm, tm.Net, em, bers, prec, 40)
+			for i, ber := range bers {
+				r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.0e %7.1f%%", name, prec, ber, accs[i]*100))
 			}
 		}
 	}
@@ -177,21 +199,15 @@ func Figure9BoostedOnDevice() (Report, error) {
 	if err != nil {
 		return r, err
 	}
-	probe := func(label string, op dram.OperatingPoint) {
-		base := deviceMetric(tm, tm.Net, "A", op, 60)
-		boost := deviceMetric(tm, boosted, "A", op, 60)
-		r.Rows = append(r.Rows, fmt.Sprintf("%-12s %8.1f%% %8.1f%%", label, base*100, boost*100))
-	}
-	for _, vdd := range []float64{1.35, 1.20, 1.10, 1.05} {
-		op := dram.Nominal()
-		op.VDD = vdd
-		probe(fmt.Sprintf("VDD=%.2fV", vdd), op)
-	}
-	for _, trcd := range []float64{12.5, 9.0, 7.5, 6.5} {
-		op := dram.Nominal()
-		op.Timing.TRCD = trcd
-		probe(fmt.Sprintf("tRCD=%.1fns", trcd), op)
-	}
+	pts := vddAndTRCDPoints([]float64{1.35, 1.20, 1.10, 1.05}, []float64{12.5, 9.0, 7.5, 6.5})
+	rows := make([]string, len(pts))
+	parallel.ForEach(len(pts), func(i int) {
+		p := pts[i]
+		base := deviceMetric(tm, tm.CloneNet(), "A", p.op, 60)
+		boost := deviceMetric(tm, tm.CloneNetFrom(boosted), "A", p.op, 60)
+		rows[i] = fmt.Sprintf("%-12s %8.1f%% %8.1f%%", p.label, base*100, boost*100)
+	})
+	r.Rows = append(r.Rows, rows...)
 	return r, nil
 }
 
@@ -232,12 +248,22 @@ func Figure10RetrainingAblation() (Report, error) {
 			return eden.Retrain(tm, rc)
 		}},
 	}
-	for _, v := range variants {
+	// Variants are independent retraining runs; they fan out across the
+	// pool and each variant's BER curve fans out again inside SweepBER.
+	bers := []float64{1e-3, 5e-3, 1e-2, 2e-2}
+	blocks := make([][]string, len(variants))
+	parallel.ForEach(len(variants), func(vi int) {
+		v := variants[vi]
 		net := v.train()
-		for _, ber := range []float64{1e-3, 5e-3, 1e-2, 2e-2} {
-			acc := eden.EvalWithModel(tm, net, goodFit, ber, quant.FP32, 60)
-			r.Rows = append(r.Rows, fmt.Sprintf("%-22s %9.0e %7.1f%%", v.name, ber, acc*100))
+		accs := eden.SweepBER(tm, net, goodFit, bers, quant.FP32, 60)
+		block := make([]string, len(bers))
+		for i, ber := range bers {
+			block[i] = fmt.Sprintf("%-22s %9.0e %7.1f%%", v.name, ber, accs[i]*100)
 		}
+		blocks[vi] = block
+	})
+	for _, block := range blocks {
+		r.Rows = append(r.Rows, block...)
 	}
 	return r, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/dram"
 	"repro/internal/dram/power"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/sim/accel"
 	"repro/internal/sim/cpu"
@@ -16,6 +17,25 @@ import (
 
 // cpuModels are the six networks of Figs. 13 and 14.
 var cpuModels = []string{"YOLO-Tiny", "YOLO", "ResNet101", "VGG-16", "SqueezeNet1.1", "DenseNet201"}
+
+// modelPrecJob is one (model, precision) cell of a system-level figure.
+// Each cell builds its own network and workload, so the grid fans out one
+// cell per worker; operating points come through the mutex-guarded Table 3
+// cache, which concurrent cells share safely.
+type modelPrecJob struct {
+	model string
+	prec  quant.Precision
+}
+
+func modelPrecGrid(models []string) []modelPrecJob {
+	var jobs []modelPrecJob
+	for _, m := range models {
+		for _, p := range []quant.Precision{quant.FP32, quant.Int8} {
+			jobs = append(jobs, modelPrecJob{m, p})
+		}
+	}
+	return jobs
+}
 
 // opFor returns the per-model reduced operating point: the Table 3 pipeline
 // result when available, else a representative reduction.
@@ -34,27 +54,34 @@ func Figure13CPUEnergy() (Report, error) {
 		Header: fmt.Sprintf("%-14s %-6s %10s", "Model", "Prec", "Savings")}
 	cfg := cpu.Default()
 	pcfg := power.DDR4()
-	var geoSum float64
-	var n int
-	for _, model := range cpuModels {
-		spec, _ := dnn.LookupSpec(model)
-		net, err := dnn.BuildModel(model)
+	jobs := modelPrecGrid(cpuModels)
+	savings := make([]float64, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		spec, _ := dnn.LookupSpec(j.model)
+		net, err := dnn.BuildModel(j.model)
 		if err != nil {
-			return r, err
+			errs[i] = err
+			return
 		}
-		for _, prec := range []quant.Precision{quant.FP32, quant.Int8} {
-			op, err := opFor(model, prec)
-			if err != nil {
-				return r, err
-			}
-			w := trace.FromModel(spec, net, prec, 16)
-			s := cpu.EnergySavings(w, cfg, pcfg, op.VDD, op.Timing)
-			r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.1f%%", model, prec, s*100))
-			geoSum += s
-			n++
+		op, err := opFor(j.model, j.prec)
+		if err != nil {
+			errs[i] = err
+			return
 		}
+		w := trace.FromModel(spec, net, j.prec, 16)
+		savings[i] = cpu.EnergySavings(w, cfg, pcfg, op.VDD, op.Timing)
+	})
+	var geoSum float64
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return r, errs[i]
+		}
+		r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.1f%%", j.model, j.prec, savings[i]*100))
+		geoSum += savings[i]
 	}
-	r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.1f%%", "Mean", "", geoSum/float64(n)*100))
+	r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %9.1f%%", "Mean", "", geoSum/float64(len(jobs))*100))
 	return r, nil
 }
 
@@ -66,28 +93,37 @@ func Figure14CPUSpeedup() (Report, error) {
 	cfg := cpu.Default()
 	ideal := dram.NominalTiming()
 	ideal.TRCD = 0
-	var sumE, sumI float64
-	var n int
-	for _, model := range cpuModels {
-		spec, _ := dnn.LookupSpec(model)
-		net, err := dnn.BuildModel(model)
+	jobs := modelPrecGrid(cpuModels)
+	type speedups struct{ eden, ideal float64 }
+	results := make([]speedups, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		spec, _ := dnn.LookupSpec(j.model)
+		net, err := dnn.BuildModel(j.model)
 		if err != nil {
-			return r, err
+			errs[i] = err
+			return
 		}
-		for _, prec := range []quant.Precision{quant.FP32, quant.Int8} {
-			op, err := opFor(model, prec)
-			if err != nil {
-				return r, err
-			}
-			w := trace.FromModel(spec, net, prec, 16)
-			sE := cpu.Speedup(w, cfg, op.Timing)
-			sI := cpu.Speedup(w, cfg, ideal)
-			r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %7.3fx %7.3fx", model, prec, sE, sI))
-			sumE += sE
-			sumI += sI
-			n++
+		op, err := opFor(j.model, j.prec)
+		if err != nil {
+			errs[i] = err
+			return
 		}
+		w := trace.FromModel(spec, net, j.prec, 16)
+		s := cpu.SpeedupSweep(w, cfg, []dram.Timing{op.Timing, ideal})
+		results[i] = speedups{s[0], s[1]}
+	})
+	var sumE, sumI float64
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return r, errs[i]
+		}
+		r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %7.3fx %7.3fx", j.model, j.prec, results[i].eden, results[i].ideal))
+		sumE += results[i].eden
+		sumI += results[i].ideal
 	}
+	n := len(jobs)
 	r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-6s %7.3fx %7.3fx", "Mean", "", sumE/float64(n), sumI/float64(n)))
 	return r, nil
 }

@@ -1,0 +1,154 @@
+// Package parallel is the repository's shared worker-pool execution engine.
+// EDEN's characterize→corrupt→evaluate loop is embarrassingly parallel —
+// independent inputs, independent operating points, independent error draws
+// — and every hot path (tensor kernels, batched inference, characterization
+// probes, per-voltage-step sweeps) fans out through this package.
+//
+// The pool is token-based rather than a fixed set of worker goroutines: a
+// global budget of Workers()-1 helper tokens bounds how many extra
+// goroutines may run at once, and every For/Do call has its calling
+// goroutine participate in the work. This makes nested parallelism safe by
+// construction — an inner For that finds no tokens left simply runs serially
+// on its caller, so a parallel ForwardBatch whose per-sample forwards invoke
+// parallel convolution kernels can never deadlock or oversubscribe the
+// machine.
+//
+// All fan-out helpers preserve determinism: work items are identified by
+// index, writes land in index-addressed slots, and no helper introduces an
+// ordering dependence, so results are bit-identical to a serial run
+// regardless of the worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide worker budget, settable via
+// SetWorkers (the cmd binaries plumb their -workers flag here).
+var defaultWorkers atomic.Int64
+
+// active counts helper goroutines currently running across all fan-out
+// calls; it never exceeds Workers()-1, keeping total compute goroutines
+// (helpers plus the callers that always participate) at the budget.
+var active atomic.Int64
+
+func init() {
+	defaultWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetWorkers sets the global worker budget. Values below 1 reset it to
+// GOMAXPROCS. It returns the value actually installed.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	defaultWorkers.Store(int64(n))
+	return n
+}
+
+// Workers returns the current worker budget.
+func Workers() int { return int(defaultWorkers.Load()) }
+
+// tryAcquire takes one helper token if the budget allows, without blocking.
+func tryAcquire() bool {
+	for {
+		cur := active.Load()
+		if cur >= defaultWorkers.Load()-1 {
+			return false
+		}
+		if active.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func release() { active.Add(-1) }
+
+// For runs body over the index range [0, n) in contiguous chunks of at
+// least minGrain indices, using up to Workers() goroutines (including the
+// caller). Chunks are claimed atomically, every chunk is executed exactly
+// once, and For returns only after all chunks complete. Panics in body are
+// re-raised on the caller.
+//
+// Chunk boundaries carry no ordering semantics: body must treat each index
+// independently (the repository's kernels write disjoint, index-addressed
+// outputs, which keeps parallel results bit-identical to serial ones).
+func For(n, minGrain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	w := Workers()
+	if w <= 1 || n <= minGrain {
+		body(0, n)
+		return
+	}
+	// Aim for a few chunks per worker so stragglers rebalance, without
+	// dropping below the grain that keeps per-chunk work worthwhile.
+	grain := (n + w*4 - 1) / (w * 4)
+	if grain < minGrain {
+		grain = minGrain
+	}
+	chunks := (n + grain - 1) / grain
+	var next atomic.Int64
+	var panicked atomic.Pointer[any]
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.Store(&r)
+				// Drain remaining chunks so peers finish promptly.
+				next.Store(int64(chunks))
+			}
+		}()
+		for {
+			c := next.Add(1) - 1
+			if c >= int64(chunks) {
+				return
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w-1 && i < chunks-1; i++ {
+		if !tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}
+
+// ForEach runs body once per index in [0, n), fanning out like For with a
+// grain of one index per chunk bound. It suits coarse tasks (one operating
+// point, one inference) where each index is substantial work.
+func ForEach(n int, body func(i int)) {
+	For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Do runs every task, fanning the slice out across the pool and returning
+// when all complete.
+func Do(tasks ...func()) {
+	ForEach(len(tasks), func(i int) { tasks[i]() })
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := Workers()
+	SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		withWorkers(t, w)
+		for _, n := range []int{0, 1, 7, 100, 1023} {
+			counts := make([]int32, n)
+			For(n, 3, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachAndDo(t *testing.T) {
+	withWorkers(t, 4)
+	var sum atomic.Int64
+	ForEach(50, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 49*50/2 {
+		t.Fatalf("ForEach sum %d", got)
+	}
+	var a, b atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("Do skipped a task")
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4)
+	var total atomic.Int64
+	ForEach(8, func(i int) {
+		For(100, 1, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	})
+	if total.Load() != 800 {
+		t.Fatalf("nested total %d", total.Load())
+	}
+	if got := active.Load(); got != 0 {
+		t.Fatalf("helper tokens leaked: %d", got)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	withWorkers(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if got := active.Load(); got != 0 {
+			t.Fatalf("helper tokens leaked after panic: %d", got)
+		}
+	}()
+	For(64, 1, func(lo, hi int) {
+		if lo >= 32 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSetWorkersFloorsAtGOMAXPROCS(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	if got := SetWorkers(0); got < 1 {
+		t.Fatalf("SetWorkers(0) installed %d", got)
+	}
+	if got := SetWorkers(6); got != 6 || Workers() != 6 {
+		t.Fatalf("SetWorkers(6) = %d, Workers() = %d", got, Workers())
+	}
+}

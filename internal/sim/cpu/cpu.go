@@ -10,6 +10,7 @@ package cpu
 import (
 	"repro/internal/dram"
 	"repro/internal/dram/power"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -115,6 +116,19 @@ func Speedup(w trace.Workload, cfg Config, reduced dram.Timing) float64 {
 	base := Simulate(w, cfg, dram.NominalTiming())
 	fast := Simulate(w, cfg, reduced)
 	return base.TimeNS / fast.TimeNS
+}
+
+// SpeedupSweep evaluates Speedup at every reduced timing concurrently, one
+// operating point per worker — the fan-out shape of the paper's per-model
+// timing sweeps (Fig. 14 probes each workload at its EDEN point and at the
+// ideal tRCD=0 system). Results are slot-indexed by operating point, so the
+// sweep is bit-identical to serial Speedup calls.
+func SpeedupSweep(w trace.Workload, cfg Config, reduced []dram.Timing) []float64 {
+	out := make([]float64, len(reduced))
+	parallel.ForEach(len(reduced), func(i int) {
+		out[i] = Speedup(w, cfg, reduced[i])
+	})
+	return out
 }
 
 // EnergySavings returns the fractional DRAM energy reduction of running the
