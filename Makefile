@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint
+.PHONY: build test race bench bench-json lint
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/tensor/ ./internal/dnn/ ./internal/parallel/ ./internal/eden/
+	$(GO) test -race -short ./internal/tensor/ ./internal/dnn/ ./internal/parallel/ ./internal/eden/ ./internal/serve/
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dnn/
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dnn/ ./internal/serve/
+
+# bench-json runs the end-to-end serving load test (single-request vs
+# micro-batched QPS over HTTP, plus raw ForwardBatch throughput) and
+# records the measurements for the perf trajectory. BENCH_pr3.json is
+# committed deliberately as that trajectory's PR-3 data point (numbers are
+# host-specific; CI regenerates and prints its own run).
+bench-json:
+	$(GO) run ./examples/serving -duration 3s -json BENCH_pr3.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

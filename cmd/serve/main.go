@@ -1,0 +1,77 @@
+// Command serve runs the batched inference-serving daemon: it loads one or
+// more zoo models (training on first use, then cached), pairs each with a
+// calibrated approximate-DRAM corruptor at the requested precision and bit
+// error rate, and serves predictions over HTTP/JSON with dynamic
+// micro-batching.
+//
+//	go run ./cmd/serve -models LeNet,VGG-16 -precision int8 -ber 1e-4
+//
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/models/LeNet/predict \
+//	     -d '{"input":[...768 floats...],"seed":7}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/quant"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "LeNet", "comma-separated zoo model names to deploy")
+	precision := flag.String("precision", "int8", "storage precision: fp32, int16, int8, int4")
+	ber := flag.Float64("ber", 0, "uniform bit error rate of the serving module (0 = reliable DRAM)")
+	maxBatch := flag.Int("max-batch", 16, "micro-batch size cap")
+	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "batch-fill deadline")
+	calib := flag.Int("calib", 16, "calibration samples for the bounding-logic plausibility ranges")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+
+	prec, err := parsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency})
+	defer s.Close()
+	for _, name := range strings.Split(*models, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		log.Printf("loading %s (%s, BER %.2e)...", name, prec, *ber)
+		m, err := s.Register(name, serve.ModelConfig{Prec: prec, BER: *ber, CalibSamples: *calib})
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := m.Info()
+		log.Printf("deployed %s: %d params, %d weight bytes at %s",
+			info.Name, info.Params, info.WeightBytes, info.Precision)
+	}
+	log.Printf("serving on %s (max-batch %d, max-latency %v, workers %d)",
+		*addr, *maxBatch, *maxLatency, parallel.Workers())
+	log.Fatal(http.ListenAndServe(*addr, serve.NewHandler(s)))
+}
+
+func parsePrecision(s string) (quant.Precision, error) {
+	switch s {
+	case "fp32", "FP32":
+		return quant.FP32, nil
+	case "int16":
+		return quant.Int16, nil
+	case "int8":
+		return quant.Int8, nil
+	case "int4":
+		return quant.Int4, nil
+	}
+	return 0, fmt.Errorf("unknown precision %q", s)
+}

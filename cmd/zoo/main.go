@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 )
 
 func main() {
@@ -17,8 +18,8 @@ func main() {
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	fmt.Printf("%-14s %-8s %9s %12s %12s %7s\n",
-		"Model", "Task", "Params", "Weights", "IFM+Weights", "Layers")
+	fmt.Printf("%-14s %-8s %9s %12s %12s %12s %7s\n",
+		"Model", "Task", "Params", "Weights", "IFM+Weights", "int8 W", "Layers")
 	for _, spec := range dnn.Zoo {
 		net, err := dnn.BuildModel(spec.Name)
 		if err != nil {
@@ -28,10 +29,11 @@ func main() {
 		if spec.Task == dnn.Detect {
 			task = "detect"
 		}
-		fmt.Printf("%-14s %-8s %9d %10.1fKB %10.1fKB %7d\n",
+		fmt.Printf("%-14s %-8s %9d %10.1fKB %10.1fKB %10.1fKB %7d\n",
 			spec.Name, task, net.ParamCount(),
-			float64(net.WeightBytes())/1024,
-			float64(net.WeightBytes()+net.IFMBytes())/1024,
+			float64(net.WeightBytes(quant.FP32))/1024,
+			float64(net.WeightBytes(quant.FP32)+net.IFMBytes(quant.FP32))/1024,
+			float64(net.WeightBytes(quant.Int8))/1024,
 			len(net.Layers))
 	}
 	if !*train {

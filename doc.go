@@ -16,4 +16,17 @@
 // pool defaults to GOMAXPROCS and every cmd binary exposes it as
 // -workers. Parallel results are bit-identical to serial ones at any
 // worker count; see README.md for the architecture.
+//
+// # Serving
+//
+// internal/serve layers a request/response engine on the inference
+// primitives: a Server registry of deployed models (weights corrupted
+// once at load through a calibrated corruptor, IFMs corrupted per
+// request through seeded eden.ClonePool clones), a dynamic
+// micro-batching scheduler (collect up to MaxBatch requests or
+// MaxLatency, dispatch one ForwardBatch over the pool) and per-model
+// statistics (QPS, p50/p99 latency, batch-size histogram). cmd/serve
+// exposes it over HTTP/JSON and examples/serving load-tests it. A
+// request's output is a pure function of (model, input, seed),
+// independent of batch composition and worker count.
 package repro

@@ -1,0 +1,242 @@
+// The serving example load-tests the batched inference server end to end
+// over HTTP: it deploys the zoo's largest CNN, measures single-request
+// throughput (MaxBatch 1, one synchronous client) against micro-batched
+// throughput (MaxBatch 16, many concurrent clients), verifies that a fixed
+// request seed yields byte-identical outputs across both batching regimes,
+// and prints the achieved QPS. With -json it also writes the measurements
+// (plus raw ForwardBatch throughput) to a file, which `make bench-json`
+// uses to populate the perf trajectory.
+//
+// Batched throughput scales with the worker pool: on an N-core machine the
+// micro-batch fans out across N workers, so the expected speedup over the
+// single-request regime approaches min(N, batch size).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/parallel"
+	"repro/internal/quant"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func main() {
+	model := flag.String("model", "", "zoo model to serve (default: largest CNN by weight bytes)")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window per phase")
+	concurrency := flag.Int("concurrency", 32, "concurrent clients in the batched phase")
+	ber := flag.Float64("ber", 1e-4, "serving bit error rate")
+	precision := flag.String("precision", "int8", "storage precision")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write measurements to this JSON file")
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+
+	prec := quant.Int8
+	switch *precision {
+	case "fp32":
+		prec = quant.FP32
+	case "int16":
+		prec = quant.Int16
+	case "int8":
+		prec = quant.Int8
+	case "int4":
+		prec = quant.Int4
+	default:
+		log.Fatalf("unknown precision %q", *precision)
+	}
+
+	name := *model
+	if name == "" {
+		name = largestCNN()
+	}
+	fmt.Printf("model: %s, precision %s, BER %.1e, workers %d\n", name, prec, *ber, parallel.Workers())
+	tm := dnn.MustPretrained(name)
+	inputs := makeInputs(tm, 64)
+	mc := serve.ModelConfig{Prec: prec, BER: *ber}
+
+	// Phase 1: single synchronous client against an unbatched server.
+	qpsSingle, outSingle := loadTest(name, mc, serve.Config{MaxBatch: 1}, 1, *duration, inputs)
+	fmt.Printf("single-request QPS (MaxBatch=1, 1 client):   %8.1f\n", qpsSingle)
+
+	// Phase 2: concurrent clients against a batch-16 server.
+	cfg := serve.Config{MaxBatch: 16, MaxLatency: 2 * time.Millisecond}
+	qpsBatch, outBatch := loadTest(name, mc, cfg, *concurrency, *duration, inputs)
+	fmt.Printf("batched QPS       (MaxBatch=16, %2d clients): %8.1f\n", *concurrency, qpsBatch)
+	fmt.Printf("speedup: %.2fx\n", qpsBatch/qpsSingle)
+
+	// Determinism across batching regimes: the probe request (fixed seed)
+	// must come back byte-identical from both phases.
+	det := floatsEqual(outSingle, outBatch)
+	if det {
+		fmt.Println("determinism: OK — fixed seed byte-identical across batch sizes")
+	} else {
+		fmt.Println("determinism: FAILED — outputs differ across batch sizes")
+	}
+
+	// Raw engine throughput for the perf trajectory: ForwardBatch over the
+	// worker pool, no HTTP, no corruption.
+	fbSPS := forwardBatchSPS(tm, 16, *duration/2)
+	fmt.Printf("raw ForwardBatch throughput: %.1f samples/s\n", fbSPS)
+
+	if *jsonOut != "" {
+		rec := map[string]any{
+			"model":             name,
+			"precision":         prec.String(),
+			"ber":               *ber,
+			"workers":           parallel.Workers(),
+			"qps_single":        qpsSingle,
+			"qps_batch16":       qpsBatch,
+			"speedup":           qpsBatch / qpsSingle,
+			"forward_batch_sps": fbSPS,
+			"determinism_ok":    det,
+		}
+		buf, _ := json.MarshalIndent(rec, "", "  ")
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if !det {
+		os.Exit(1)
+	}
+}
+
+// largestCNN returns the zoo model with the biggest FP32 weight footprint.
+func largestCNN() string {
+	best, bestBytes := "", -1
+	for _, spec := range dnn.Zoo {
+		net, err := dnn.BuildModel(spec.Name)
+		if err != nil {
+			continue
+		}
+		if b := net.WeightBytes(quant.FP32); b > bestBytes {
+			best, bestBytes = spec.Name, b
+		}
+	}
+	return best
+}
+
+// makeInputs builds deterministic request payloads.
+func makeInputs(tm *dnn.TrainedModel, n int) [][]float32 {
+	rng := tensor.NewRNG(0x10AD)
+	out := make([][]float32, n)
+	for i := range out {
+		x := tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+		x.FillUniform(rng, -1, 1)
+		out[i] = x.Data
+	}
+	return out
+}
+
+// loadTest spins up a server+HTTP listener with cfg, drives it with
+// `clients` concurrent request loops for the window, and returns achieved
+// QPS plus the output of a fixed probe request (seed 424242, inputs[0])
+// issued after the load window for the determinism check.
+func loadTest(model string, mc serve.ModelConfig, cfg serve.Config, clients int, window time.Duration, inputs [][]float32) (float64, []float32) {
+	s := serve.New(cfg)
+	defer s.Close()
+	if _, err := s.Register(model, mc); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: serve.NewHandler(s)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var served atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for r := 0; time.Now().Before(deadline); r++ {
+				in := inputs[(c+r)%len(inputs)]
+				if _, err := predict(client, base, model, in, uint64(c)<<32|uint64(r)); err != nil {
+					log.Fatal(err)
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	qps := float64(served.Load()) / time.Since(start).Seconds()
+
+	probe, err := predict(http.DefaultClient, base, model, inputs[0], 424242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return qps, probe
+}
+
+// predict issues one POST /v1/models/{name}/predict.
+func predict(client *http.Client, base, model string, input []float32, seed uint64) ([]float32, error) {
+	body, err := json.Marshal(serve.PredictRequest{Input: input, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/models/"+model+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("predict: status %d", resp.StatusCode)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return pr.Output, nil
+}
+
+// forwardBatchSPS measures raw ForwardBatch samples/sec at the given batch
+// size over roughly the window.
+func forwardBatchSPS(tm *dnn.TrainedModel, batch int, window time.Duration) float64 {
+	rng := tensor.NewRNG(0xF0)
+	xs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		xs[i] = tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+		xs[i].FillUniform(rng, -1, 1)
+	}
+	tm.Net.ForwardBatch(xs, dnn.BatchOptions{}) // warm
+	samples := 0
+	start := time.Now()
+	for time.Since(start) < window {
+		tm.Net.ForwardBatch(xs, dnn.BatchOptions{})
+		samples += batch
+	}
+	return float64(samples) / time.Since(start).Seconds()
+}
+
+// floatsEqual reports bitwise equality of two float32 slices.
+func floatsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -48,6 +49,13 @@ type BatchOptions struct {
 	// mutable state; eden corruptors provide deterministically seeded
 	// per-sample clones for exactly this purpose (SoftwareDRAM.SampleHooks).
 	HookFor func(sample int) IFMHook
+	// Done, when non-nil, is invoked once per sample right after that
+	// sample's forward pass completes, on the goroutine that ran it.
+	// Callers use it to recycle per-sample resources (eden.ClonePool) or
+	// record per-sample timings without waiting for the whole batch. Like
+	// HookFor, it runs concurrently across samples and must only touch
+	// per-sample state.
+	Done func(sample int)
 }
 
 // ForwardBatch runs one inference-mode forward pass per input, fanning the
@@ -66,6 +74,9 @@ func (n *Network) ForwardBatch(xs []*tensor.Tensor, opt BatchOptions) []*tensor.
 			hook = opt.HookFor(i)
 		}
 		outs[i] = n.Forward(xs[i], false, hook)
+		if opt.Done != nil {
+			opt.Done(i)
+		}
 	})
 	return outs
 }
@@ -103,16 +114,26 @@ func (n *Network) ParamCount() int {
 	return total
 }
 
-// WeightBytes returns the FP32 weight footprint in bytes.
-func (n *Network) WeightBytes() int { return n.ParamCount() * 4 }
+// WeightBytes returns the weight footprint in bytes when parameters are
+// stored at precision prec. Each tensor's bit count rounds up to whole
+// bytes, matching how quant.QTensor.Pack lays tensors out in (approximate)
+// DRAM.
+func (n *Network) WeightBytes(prec quant.Precision) int {
+	total := 0
+	for _, p := range n.Params() {
+		total += (p.W.Size()*prec.Bits() + 7) / 8
+	}
+	return total
+}
 
-// IFMBytes returns the summed FP32 size of all top-level IFMs for a single
-// input, obtained by a dry forward pass.
-func (n *Network) IFMBytes() int {
+// IFMBytes returns the summed size of all top-level IFMs for a single input
+// when feature maps are stored at precision prec, obtained by a dry forward
+// pass. Like WeightBytes, each tensor rounds up to whole bytes.
+func (n *Network) IFMBytes(prec quant.Precision) int {
 	x := tensor.New(1, n.InC, n.InH, n.InW)
 	total := 0
 	n.Forward(x, false, func(_ int, _ Layer, t *tensor.Tensor) *tensor.Tensor {
-		total += t.Size() * 4
+		total += (t.Size()*prec.Bits() + 7) / 8
 		return t
 	})
 	return total

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -170,7 +171,7 @@ func TestZooBuildsAndForwards(t *testing.T) {
 		if net.ParamCount() == 0 {
 			t.Fatalf("%s: no parameters", spec.Name)
 		}
-		if net.IFMBytes() == 0 {
+		if net.IFMBytes(quant.FP32) == 0 {
 			t.Fatalf("%s: no IFM bytes", spec.Name)
 		}
 	}
@@ -293,10 +294,29 @@ func TestSGDWeightDecayShrinks(t *testing.T) {
 
 func TestWeightBytesAndIFMBytes(t *testing.T) {
 	net := buildLeNet(tensor.NewRNG(1))
-	if net.WeightBytes() != net.ParamCount()*4 {
-		t.Fatal("WeightBytes inconsistent with ParamCount")
+	if net.WeightBytes(quant.FP32) != net.ParamCount()*4 {
+		t.Fatal("FP32 WeightBytes inconsistent with ParamCount")
 	}
-	if net.IFMBytes() <= 3*16*16*4 {
-		t.Fatalf("IFMBytes %d implausibly small", net.IFMBytes())
+	if net.IFMBytes(quant.FP32) <= 3*16*16*4 {
+		t.Fatalf("IFMBytes %d implausibly small", net.IFMBytes(quant.FP32))
+	}
+	// Narrow precisions must shrink the reported footprint: int8 is a
+	// quarter of FP32 (modulo per-tensor byte rounding), int4 an eighth.
+	// The old code hard-coded 4 bytes/param and reported FP32 numbers for
+	// every precision.
+	fp32 := net.WeightBytes(quant.FP32)
+	for _, tc := range []struct {
+		prec    quant.Precision
+		divisor int
+	}{{quant.Int16, 2}, {quant.Int8, 4}, {quant.Int4, 8}} {
+		got := net.WeightBytes(tc.prec)
+		want := fp32 / tc.divisor
+		// Per-tensor rounding adds at most one byte per parameter tensor.
+		if got < want || got > want+len(net.Params()) {
+			t.Fatalf("%v WeightBytes = %d, want ~%d", tc.prec, got, want)
+		}
+	}
+	if i8 := net.IFMBytes(quant.Int8); i8 >= net.IFMBytes(quant.FP32) {
+		t.Fatalf("int8 IFMBytes %d not smaller than FP32", i8)
 	}
 }

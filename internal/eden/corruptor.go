@@ -11,6 +11,8 @@ package eden
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/dnn"
 	"repro/internal/dram"
@@ -222,6 +224,66 @@ func (s *SoftwareDRAM) Clone(pass uint64) *SoftwareDRAM {
 	return c
 }
 
+// Reset rewinds a corruptor to the start of a new evaluation pass: the
+// transient error draw restarts at pass and the correction counters clear.
+// Layout state (offsets, weak-cell caches, bounds) survives — it depends
+// only on the model seed and the data IDs, not on the pass — which is what
+// makes a reset clone byte-identical to a freshly built Clone(pass).
+func (s *SoftwareDRAM) Reset(pass uint64) {
+	s.passCount = pass
+	s.Logic.Corrections = 0
+}
+
+// ClonePool recycles SoftwareDRAM clones across evaluation passes. Cloning
+// per sample (SampleHooks) re-copies the bounds/offset maps and, worse,
+// rebuilds nothing the next pass can reuse; under a serving workload that
+// clones once per request, the allocation churn dominates low-latency
+// dispatches. A pool keeps retired clones and hands them back after a
+// Reset, so the weak-cell position caches — the expensive part, one probe
+// per potential weak cell — are computed once per data ID for the lifetime
+// of the pool instead of once per request.
+//
+// Get and Put are safe for concurrent use; the clones themselves remain
+// single-goroutine state between Get and Put.
+type ClonePool struct {
+	src  *SoftwareDRAM
+	mu   sync.Mutex
+	free []*SoftwareDRAM
+}
+
+// NewClonePool builds a pool that clones from src. src must not be mutated
+// (reconfigured, recalibrated) while the pool is in use.
+func NewClonePool(src *SoftwareDRAM) *ClonePool {
+	return &ClonePool{src: src}
+}
+
+// Get returns a corruptor whose transient draws start at pass: a recycled
+// clone when one is free, a fresh Clone(pass) otherwise. Both behave
+// identically for the same pass value.
+func (p *ClonePool) Get(pass uint64) *SoftwareDRAM {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		c.Reset(pass)
+		return c
+	}
+	p.mu.Unlock()
+	return p.src.Clone(pass)
+}
+
+// Put retires a corruptor obtained from Get back into the pool.
+func (p *ClonePool) Put(c *SoftwareDRAM) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
 // SampleHooks adapts the corruptor to dnn.BatchOptions: sample i receives
 // an independent clone whose transient error draw is seeded with base+i, so
 // a parallel ForwardBatch corrupts every sample through its own
@@ -355,6 +417,52 @@ func (c *DeviceDRAM) place(id string, bytes int) (int, error) {
 	return addr, nil
 }
 
+// PlaceNetwork pre-places every weight tensor and top-level IFM of net in
+// the module, in the deterministic EnumerateData order, using the
+// precision-aware byte footprints (net.WeightBytes/IFMBytes at c.Prec
+// report the same single-sample totals). IFM regions are sized for
+// evaluation batches of up to batch samples (values below 1 mean 1), since
+// an IFM tensor in a batched forward is batch× its single-sample size.
+// Placing up front — instead of lazily on first access — makes the layout
+// independent of evaluation order and surfaces a capacity overflow as an
+// error before any inference runs; the old lazy path silently wrapped
+// around, and because it sized regions with the hard-coded FP32 footprint
+// path an int8 model reserved 4× the rows it occupied.
+func (c *DeviceDRAM) PlaceNetwork(net *dnn.Network, batch int) error {
+	if batch < 1 {
+		batch = 1
+	}
+	data := EnumerateData(net, c.Prec)
+	sizes := make([]int, len(data))
+	rb := c.Device.Geom.RowBytes
+	total := 0
+	for i, d := range data {
+		bytes := (d.Bits + 7) / 8
+		if strings.HasPrefix(d.ID, "ifm:") {
+			bytes *= batch
+		}
+		sizes[i] = bytes
+		// Capacity is consumed in whole row-aligned allocations (place
+		// rounds every tensor up to full rows), so the pre-check must sum
+		// the aligned footprint — the raw byte total can fit while the
+		// padded layout wraps.
+		total += (bytes + rb - 1) / rb * rb
+	}
+	if total > c.Device.Capacity() {
+		// The scaled-down module may be smaller than the model; keep the
+		// wrap-around behaviour of lazy placement (error statistics are
+		// preserved when rows are reused) but report it to the caller.
+		return fmt.Errorf("eden: model footprint %d B (row-aligned) exceeds module capacity %d B; rows will be reused",
+			total, c.Device.Capacity())
+	}
+	for i, d := range data {
+		if _, err := c.place(d.ID, sizes[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PlaceInPartition pins a data ID into the given device partition,
 // allocating from the partition's base. Fine-grained mapping uses this to
 // realize an Algorithm-1 assignment on the device.
@@ -390,13 +498,6 @@ func (c *DeviceDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor {
 		c.Logic.CorrectQTensor(q, memctrl.FromTensor(t, 1.5))
 	}
 	return q.Dequantize()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // NextPass is a no-op: the device's read counter already advances per

@@ -306,6 +306,94 @@ func TestMapFineGrainedImpossible(t *testing.T) {
 	}
 }
 
+// TestMapFineGrainedTieBreak: two partitions at the same operating point
+// tie on aggressiveness even when their characterized BERs differ (BER is
+// measured per module, not derived from the operating point). The greedy
+// fill used to always pick the lowest index among tied partitions, which
+// could burn the scarce low-BER partition on tolerant data and then fail
+// to place a large fragile data type that only that partition could hold.
+// Preferring the tied partition with more free bits steers tolerant data
+// away and keeps the placement feasible.
+func TestMapFineGrainedTieBreak(t *testing.T) {
+	op := opAt(1.10, 8)
+	parts := []PartitionInfo{
+		{ID: 0, BER: 0.001, Bits: 1000, Op: op}, // scarce: only home for fragile data
+		{ID: 1, BER: 0.04, Bits: 1200, Op: op},
+	}
+	data := []DataChar{
+		{DataDesc{ID: "w:tolerant", Bits: 500}, 0.05},   // placed first (highest tolerance)
+		{DataDesc{ID: "ifm:fragile", Bits: 900}, 0.002}, // only fits partition 0
+	}
+	assign, err := MapFineGrained(data, parts)
+	if err != nil {
+		t.Fatalf("tie-break regression: %v", err)
+	}
+	if assign["w:tolerant"] != 1 {
+		t.Fatalf("tolerant data landed in %d, want the freer tied partition 1", assign["w:tolerant"])
+	}
+	if assign["ifm:fragile"] != 0 {
+		t.Fatalf("fragile data landed in %d, want 0", assign["ifm:fragile"])
+	}
+}
+
+// TestMapFineGrainedTieBreakDeterminism: with fully symmetric tied
+// partitions the assignment must be a pure function of the input, not of
+// map iteration order.
+func TestMapFineGrainedTieBreakDeterminism(t *testing.T) {
+	op := opAt(1.10, 8)
+	parts := []PartitionInfo{
+		{ID: 3, BER: 0.01, Bits: 800, Op: op},
+		{ID: 7, BER: 0.01, Bits: 800, Op: op},
+	}
+	data := []DataChar{
+		{DataDesc{ID: "w:a", Bits: 400}, 0.05},
+		{DataDesc{ID: "w:b", Bits: 400}, 0.05},
+		{DataDesc{ID: "w:c", Bits: 400}, 0.05},
+	}
+	first, err := MapFineGrained(data, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := MapFineGrained(data, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, pid := range first {
+			if again[id] != pid {
+				t.Fatalf("run %d: %s moved from %d to %d", i, id, pid, again[id])
+			}
+		}
+	}
+	// Symmetric ties break toward the lower partition index: equal
+	// tolerances sort by ID, so w:a takes partition 3, w:b the (now freer)
+	// 7, and w:c whichever has more room — 3 and 7 are equally full, so 3.
+	if first["w:a"] != 3 || first["w:b"] != 7 || first["w:c"] != 3 {
+		t.Fatalf("unexpected deterministic assignment %v", first)
+	}
+}
+
+// TestMapFineGrainedCapacityExhausted pins the error path: when every
+// admissible partition is full, MapFineGrained must report which data
+// failed instead of assigning out of capacity.
+func TestMapFineGrainedCapacityExhausted(t *testing.T) {
+	parts := []PartitionInfo{
+		{ID: 0, BER: 0, Bits: 300, Op: dram.Nominal()},
+		{ID: 1, BER: 0.05, Bits: 1000, Op: opAt(1.05, 7)},
+	}
+	data := []DataChar{
+		{DataDesc{ID: "w:tough", Bits: 900}, 0.06},
+		{DataDesc{ID: "ifm:fragile", Bits: 400}, 0.0}, // only fits partition 0, which is too small
+	}
+	_, err := MapFineGrained(data, parts)
+	if err == nil {
+		t.Fatal("capacity exhaustion not reported")
+	}
+	if !strings.Contains(err.Error(), "ifm:fragile") {
+		t.Fatalf("error %q does not name the failing data", err)
+	}
+}
+
 func TestBERByAssignment(t *testing.T) {
 	parts := []PartitionInfo{{ID: 0, BER: 0}, {ID: 7, BER: 0.03}}
 	assign := map[string]int{"a": 0, "b": 7}

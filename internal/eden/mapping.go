@@ -59,7 +59,14 @@ func MapFineGrained(data []DataChar, parts []PartitionInfo) (map[string]int, err
 				continue
 			}
 			params := aggressiveness(p.Op)
-			if bestIdx == -1 || params < bestParams {
+			// Ties on aggressiveness break toward the partition with more
+			// free bits: equally aggressive partitions yield the same BER,
+			// and spreading the greedy fill keeps the largest remaining
+			// data types placeable instead of exhausting one partition and
+			// spuriously failing later. Remaining ties keep the lowest
+			// index, so the assignment stays deterministic.
+			if bestIdx == -1 || params < bestParams ||
+				(params == bestParams && free[i] > free[bestIdx]) {
 				bestIdx = i
 				bestParams = params
 			}

@@ -93,6 +93,37 @@ func TestCloneMatchesOriginalStream(t *testing.T) {
 	}
 }
 
+// TestClonePoolMatchesFreshClones: a recycled clone reset to a pass must
+// corrupt byte-identically to a fresh Clone at that pass, so serving can
+// reuse corruptors across requests without perturbing per-seed outputs.
+func TestClonePoolMatchesFreshClones(t *testing.T) {
+	tm := lenet(t)
+	src := NewSoftwareDRAM(uniformModel(5e-2), quant.Int8)
+	src.Calibrate(tm, 16, 0)
+	pool := NewClonePool(src)
+
+	x := tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+	x.FillUniform(tensor.NewRNG(3), -1, 1)
+
+	// Fresh-clone references for a few passes.
+	want := map[uint64]*tensor.Tensor{}
+	for _, pass := range []uint64{0, 7, 42} {
+		want[pass] = src.Clone(pass).corruptTensor(x, "ifm:pool")
+	}
+	// Cycle the same physical clone through the pool over the passes in a
+	// different order; each Get must reproduce the fresh-clone stream.
+	for _, pass := range []uint64{42, 0, 7, 42, 7, 0} {
+		c := pool.Get(pass)
+		got := c.corruptTensor(x, "ifm:pool")
+		for j := range got.Data {
+			if got.Data[j] != want[pass].Data[j] {
+				t.Fatalf("pass %d element %d: pooled %v != fresh %v", pass, j, got.Data[j], want[pass].Data[j])
+			}
+		}
+		pool.Put(c)
+	}
+}
+
 // TestSweepBERMatchesSerial pins the fan-out helper to the serial
 // reference: one EvalWithModel per BER on a fresh network clone.
 func TestSweepBERMatchesSerial(t *testing.T) {

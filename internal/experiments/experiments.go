@@ -51,10 +51,12 @@ func uniformModel(ber float64) *errormodel.Model {
 }
 
 // Table1ModelZoo reproduces Table 1: the model inventory with weight and
-// IFM+weight footprints (FP32).
+// IFM+weight footprints at FP32, plus the int8 deployment footprint the
+// precision-aware accounting reports (a quarter of FP32, not the FP32
+// number the old hard-coded 4-bytes-per-param path produced).
 func Table1ModelZoo() Report {
-	r := Report{ID: "E1/Table1", Title: "DNN models and memory footprints (FP32)",
-		Header: fmt.Sprintf("%-14s %-10s %12s %16s", "Model", "Dataset", "Model Size", "IFM+Weight")}
+	r := Report{ID: "E1/Table1", Title: "DNN models and memory footprints (FP32 / int8)",
+		Header: fmt.Sprintf("%-14s %-10s %12s %16s %12s", "Model", "Dataset", "Model Size", "IFM+Weight", "int8 Size")}
 	for _, spec := range dnn.Zoo {
 		net, err := dnn.BuildModel(spec.Name)
 		if err != nil {
@@ -65,9 +67,10 @@ func Table1ModelZoo() Report {
 		if spec.Task == dnn.Detect {
 			ds = "boxes"
 		}
-		r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-10s %10.1fKB %14.1fKB",
-			spec.Name, ds, float64(net.WeightBytes())/1024,
-			float64(net.WeightBytes()+net.IFMBytes())/1024))
+		r.Rows = append(r.Rows, fmt.Sprintf("%-14s %-10s %10.1fKB %14.1fKB %10.1fKB",
+			spec.Name, ds, float64(net.WeightBytes(quant.FP32))/1024,
+			float64(net.WeightBytes(quant.FP32)+net.IFMBytes(quant.FP32))/1024,
+			float64(net.WeightBytes(quant.Int8))/1024))
 	}
 	return r
 }

@@ -72,6 +72,9 @@ func deviceMetric(tm *dnn.TrainedModel, net *dnn.Network, vendor string, op dram
 	d := deviceFor(vendor, 0xF17)
 	d.SetOperatingPoint(op)
 	corr := eden.NewDeviceDRAM(d, quant.FP32)
+	// Pre-place with precision-aware footprints; an overflow just means the
+	// scaled-down module reuses rows, which preserves error statistics.
+	_ = corr.PlaceNetwork(net, 16)
 	corr.Calibrate(tm, 16, 0)
 	opt := corr.EvalOptions(maxSamples)
 	if tm.Spec.Task == dnn.Detect {

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// PredictRequest is the JSON body of POST /v1/models/{name}/predict.
+type PredictRequest struct {
+	// Input is the flattened InC×InH×InW feature map.
+	Input []float32 `json:"input"`
+	// Seed selects the request's deterministic error stream.
+	Seed uint64 `json:"seed"`
+}
+
+// PredictResponse is the JSON reply.
+type PredictResponse struct {
+	Model     string    `json:"model"`
+	Output    []float32 `json:"output"`
+	ArgMax    int       `json:"argmax"`
+	BatchSize int       `json:"batch_size"`
+	LatencyMs float64   `json:"latency_ms"`
+}
+
+// NewHandler exposes a Server over HTTP/JSON:
+//
+//	GET  /v1/models                    — deployed model inventory
+//	GET  /v1/stats                     — per-model serving statistics
+//	POST /v1/models/{name}/predict     — one prediction
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		models := s.Models()
+		infos := make([]Info, len(models))
+		for i, m := range models {
+			infos[i] = m.Info()
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]Snapshot{}
+		for _, m := range s.Models() {
+			out[m.Name()] = m.Stats()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /v1/models/{name}/predict", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		m, ok := s.Model(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown model "+name)
+			return
+		}
+		// Bound the body before decoding: a well-formed request carries
+		// InC×InH×InW JSON numbers (tens of bytes each), so the model's
+		// input size plus generous slack caps it; without the limit one
+		// oversized POST could exhaust the daemon's memory.
+		info := m.Info()
+		maxBody := int64(info.InputDims[0]*info.InputDims[1]*info.InputDims[2])*64 + 4096
+		var req PredictRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		res, err := m.Predict(r.Context(), req.Input, req.Seed)
+		switch {
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{
+			Model:     name,
+			Output:    res.Output,
+			ArgMax:    res.ArgMax,
+			BatchSize: res.BatchSize,
+			LatencyMs: float64(res.Latency.Microseconds()) / 1000,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,400 @@
+// Package serve turns the repository's inference primitives into a
+// request/response serving engine: a Server owns a registry of loaded
+// models, each paired with a pre-calibrated approximate-DRAM corruptor,
+// and a dynamic micro-batching scheduler per model that collects incoming
+// requests up to MaxBatch or MaxLatency and dispatches them as one
+// dnn.ForwardBatch over the shared parallel.Pool.
+//
+// Determinism is preserved end to end: every request carries a seed, the
+// scheduler draws a per-request corruptor clone from an eden.ClonePool
+// reset to that seed, and ForwardBatch is bit-identical to serial
+// per-sample forwards — so a request's output is a pure function of
+// (model, input, seed), independent of batch composition, worker count
+// and scheduling.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dnn"
+	"repro/internal/eden"
+	"repro/internal/errormodel"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned for requests that race with Server.Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config controls the micro-batching scheduler.
+type Config struct {
+	// MaxBatch is the largest batch one dispatch may carry (default 16).
+	// 1 disables batching: every request dispatches immediately.
+	MaxBatch int
+	// MaxLatency bounds how long the scheduler waits for a batch to fill
+	// after the first request arrives (default 2ms). The deadline trades
+	// tail latency for batch occupancy.
+	MaxLatency time.Duration
+	// QueueDepth is the per-model request queue capacity (default
+	// 4×MaxBatch). A full queue applies backpressure on Predict.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 16
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = 2 * time.Millisecond
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// ModelConfig describes how one model is deployed.
+type ModelConfig struct {
+	// Prec is the storage precision for weights and IFMs.
+	Prec quant.Precision
+	// BER is the uniform bit error rate of the approximate module the
+	// model is served from; 0 serves from reliable DRAM.
+	BER float64
+	// ForceQuant applies the quantize→dequantize round trip even at zero
+	// BER, serving the pure quantized model.
+	ForceQuant bool
+	// Model is the fitted error model to draw errors from; nil uses a
+	// uniform random model at BER.
+	Model *errormodel.Model
+	// CalibSamples bounds the clean forward passes used to calibrate the
+	// §5 bounding-logic plausibility ranges (default 16).
+	CalibSamples int
+}
+
+// Server owns the model registry and the scheduler configuration shared by
+// all models registered on it.
+type Server struct {
+	cfg    Config
+	mu     sync.RWMutex
+	models map[string]*Model
+	closed bool
+}
+
+// New builds an empty server.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), models: map[string]*Model{}}
+}
+
+// Config returns the scheduler configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Register loads (training or reading from cache) the named zoo model,
+// prepares its corruptor, and starts its scheduler. The weight image is
+// corrupted once at load time — as in EDEN, weights live in approximate
+// DRAM from the moment the model is stored there — while IFMs are
+// corrupted per request through seeded corruptor clones.
+func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := s.models[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	s.mu.Unlock()
+
+	tm, err := dnn.Pretrained(name)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		name:     name,
+		cfg:      s.cfg,
+		prec:     mc.Prec,
+		ber:      mc.BER,
+		spec:     tm.Spec,
+		net:      tm.CloneNet(),
+		inputLen: tm.Net.InC * tm.Net.InH * tm.Net.InW,
+		queue:    make(chan *pending, s.cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		stats:    newStats(s.cfg.MaxBatch),
+	}
+	if mc.BER > 0 || mc.ForceQuant {
+		em := mc.Model
+		if em == nil {
+			// Uniform random model (errormodel 0) at the requested BER.
+			em = &errormodel.Model{Kind: errormodel.Model0, Seed: 1, RowBits: 16384, P: 1, FA: mc.BER}
+		}
+		corr := eden.NewSoftwareDRAM(em, mc.Prec)
+		corr.BER = mc.BER
+		corr.ForceQuant = mc.ForceQuant
+		calib := mc.CalibSamples
+		if calib <= 0 {
+			calib = 16
+		}
+		corr.CalibrateNet(tm, m.net, calib, 0)
+		// Static weight image: corrupt once, keep (no restore).
+		corr.CorruptWeights(m.net)
+		m.pool = eden.NewClonePool(corr)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := s.models[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	s.models[name] = m
+	s.mu.Unlock()
+	go m.loop()
+	return m, nil
+}
+
+// Model returns a registered model by name.
+func (s *Server) Model(name string) (*Model, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[name]
+	return m, ok
+}
+
+// Models lists registered models sorted by name.
+func (s *Server) Models() []*Model {
+	s.mu.RLock()
+	out := make([]*Model, 0, len(s.models))
+	for _, m := range s.models {
+		out = append(out, m)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Close stops every model's scheduler. In-flight batches finish; queued
+// and subsequent requests fail with ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	models := make([]*Model, 0, len(s.models))
+	for _, m := range s.models {
+		models = append(models, m)
+	}
+	s.mu.Unlock()
+	for _, m := range models {
+		close(m.quit)
+	}
+}
+
+// Model is one deployed DNN: a weight-corrupted network, its corruptor
+// clone pool, its request queue and its scheduler.
+type Model struct {
+	name     string
+	cfg      Config
+	prec     quant.Precision
+	ber      float64
+	spec     dnn.ModelSpec
+	net      *dnn.Network
+	inputLen int
+	pool     *eden.ClonePool
+	queue    chan *pending
+	quit     chan struct{}
+	stats    *Stats
+}
+
+// Result is one served prediction.
+type Result struct {
+	// Output is the raw output vector (logits for classifiers, the
+	// detection head encoding for detectors).
+	Output []float32
+	// ArgMax is the top-1 class for classifiers, -1 for detectors.
+	ArgMax int
+	// BatchSize is the size of the micro-batch the request rode in.
+	BatchSize int
+	// Latency is queue wait plus compute, measured from enqueue.
+	Latency time.Duration
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+type pending struct {
+	x    *tensor.Tensor
+	seed uint64
+	enq  time.Time
+	out  chan outcome
+}
+
+// Name returns the model's registered name.
+func (m *Model) Name() string { return m.name }
+
+// Stats returns the model's serving statistics.
+func (m *Model) Stats() Snapshot { return m.stats.Snapshot() }
+
+// Info describes a deployed model for the listing API.
+type Info struct {
+	Name        string  `json:"name"`
+	Task        string  `json:"task"`
+	Precision   string  `json:"precision"`
+	BER         float64 `json:"ber"`
+	Params      int     `json:"params"`
+	WeightBytes int     `json:"weight_bytes"`
+	InputDims   [3]int  `json:"input_dims"`
+	OutputLen   int     `json:"output_len"`
+}
+
+// Info returns the model's deployment metadata. WeightBytes is the
+// precision-aware footprint of the served weight image.
+func (m *Model) Info() Info {
+	task := "classify"
+	outLen := m.net.Classes
+	if m.spec.Task == dnn.Detect {
+		task = "detect"
+		outLen = m.net.Det.OutputSize()
+	}
+	return Info{
+		Name:        m.name,
+		Task:        task,
+		Precision:   m.prec.String(),
+		BER:         m.ber,
+		Params:      m.net.ParamCount(),
+		WeightBytes: m.net.WeightBytes(m.prec),
+		InputDims:   [3]int{m.net.InC, m.net.InH, m.net.InW},
+		OutputLen:   outLen,
+	}
+}
+
+// Predict enqueues one request and blocks until its micro-batch is served.
+// input must hold InC×InH×InW values; seed selects the request's
+// deterministic transient-error stream (ignored when the model serves from
+// reliable DRAM).
+func (m *Model) Predict(ctx context.Context, input []float32, seed uint64) (Result, error) {
+	if len(input) != m.inputLen {
+		return Result{}, fmt.Errorf("serve: input length %d, want %d", len(input), m.inputLen)
+	}
+	x := tensor.FromSlice(append([]float32(nil), input...), 1, m.net.InC, m.net.InH, m.net.InW)
+	p := &pending{x: x, seed: seed, enq: time.Now(), out: make(chan outcome, 1)}
+	select {
+	case m.queue <- p:
+	case <-m.quit:
+		return Result{}, ErrClosed
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	select {
+	case o := <-p.out:
+		return o.res, o.err
+	case <-m.quit:
+		// Drained by the exiting scheduler, or enqueued just after it
+		// left; either way the batch will not run.
+		select {
+		case o := <-p.out:
+			return o.res, o.err
+		default:
+			return Result{}, ErrClosed
+		}
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// loop is the per-model scheduler: collect a batch, dispatch, repeat.
+func (m *Model) loop() {
+	for {
+		var first *pending
+		select {
+		case first = <-m.queue:
+		case <-m.quit:
+			m.drain()
+			return
+		}
+		batch := append(make([]*pending, 0, m.cfg.MaxBatch), first)
+		if m.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(m.cfg.MaxLatency)
+		collect:
+			for len(batch) < m.cfg.MaxBatch {
+				select {
+				case p := <-m.queue:
+					batch = append(batch, p)
+				case <-timer.C:
+					break collect
+				case <-m.quit:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		m.dispatch(batch)
+	}
+}
+
+// drain fails everything still queued when the scheduler exits.
+func (m *Model) drain() {
+	for {
+		select {
+		case p := <-m.queue:
+			p.out <- outcome{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// dispatch runs one micro-batch through ForwardBatch. Sample i's IFM hook
+// is a pool clone reset to request i's seed, recycled as soon as that
+// sample's forward completes (BatchOptions.Done), so the pool's steady
+// state holds about one clone per worker regardless of batch size.
+func (m *Model) dispatch(batch []*pending) {
+	start := time.Now()
+	xs := make([]*tensor.Tensor, len(batch))
+	for i, p := range batch {
+		xs[i] = p.x
+	}
+	opt := dnn.BatchOptions{}
+	var clones []*eden.SoftwareDRAM
+	if m.pool != nil {
+		clones = make([]*eden.SoftwareDRAM, len(batch))
+		opt.HookFor = func(i int) dnn.IFMHook {
+			c := m.pool.Get(batch[i].seed)
+			clones[i] = c
+			return c.IFMHook()
+		}
+		opt.Done = func(i int) {
+			if clones[i] != nil {
+				m.pool.Put(clones[i])
+				clones[i] = nil
+			}
+		}
+	}
+	outs := m.net.ForwardBatch(xs, opt)
+	end := time.Now()
+	lats := make([]time.Duration, len(batch))
+	for i, p := range batch {
+		res := Result{
+			Output:    append([]float32(nil), outs[i].Data...),
+			ArgMax:    -1,
+			BatchSize: len(batch),
+			Latency:   end.Sub(p.enq),
+		}
+		if m.spec.Task != dnn.Detect {
+			res.ArgMax = outs[i].ArgMax()
+		}
+		lats[i] = res.Latency
+		p.out <- outcome{res: res}
+	}
+	m.stats.record(len(batch), end.Sub(start), lats)
+}

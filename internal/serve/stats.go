@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latRing is how many recent request latencies the quantile estimator
+// keeps. 4096 samples bound the memory per model while keeping p99
+// meaningful under sustained load.
+const latRing = 4096
+
+// Stats accumulates per-model serving statistics: request/batch counts, a
+// batch-size histogram, busy time, and a ring of recent request latencies
+// for quantile estimation.
+type Stats struct {
+	mu       sync.Mutex
+	first    time.Time // first request, anchors the QPS window
+	last     time.Time // most recent dispatch end
+	requests uint64
+	batches  uint64
+	busy     time.Duration
+	hist     []uint64 // hist[k] = batches of size k; index 0 unused
+	lat      [latRing]time.Duration
+	idx      int
+	filled   int
+}
+
+func newStats(maxBatch int) *Stats {
+	return &Stats{hist: make([]uint64, maxBatch+1)}
+}
+
+// record logs one dispatched batch: its size, its compute duration and the
+// per-request latencies.
+func (s *Stats) record(batchSize int, busy time.Duration, lats []time.Duration) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.first.IsZero() {
+		s.first = now.Add(-busy)
+	}
+	s.last = now
+	s.batches++
+	s.requests += uint64(batchSize)
+	s.busy += busy
+	if batchSize < len(s.hist) {
+		s.hist[batchSize]++
+	} else {
+		// Defensive: dispatches never exceed MaxBatch, but a resized
+		// config would land here rather than panic.
+		s.hist[len(s.hist)-1]++
+	}
+	for _, l := range lats {
+		s.lat[s.idx] = l
+		s.idx = (s.idx + 1) % latRing
+		if s.filled < latRing {
+			s.filled++
+		}
+	}
+}
+
+// Snapshot is a consistent copy of the statistics for reporting.
+type Snapshot struct {
+	Requests  uint64  `json:"requests"`
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	// QPS is requests divided by the window from the first request to the
+	// latest dispatch.
+	QPS float64 `json:"qps"`
+	// BusyFrac is the fraction of that window spent computing batches.
+	BusyFrac float64 `json:"busy_frac"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// BatchHist[k] is how many batches carried exactly k requests
+	// (index 0 unused).
+	BatchHist []uint64 `json:"batch_histogram"`
+}
+
+// Snapshot returns the current statistics.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		Requests:  s.requests,
+		Batches:   s.batches,
+		BatchHist: append([]uint64(nil), s.hist...),
+	}
+	window := s.last.Sub(s.first)
+	busy := s.busy
+	lats := append([]time.Duration(nil), s.lat[:s.filled]...)
+	s.mu.Unlock()
+
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(snap.Requests) / float64(snap.Batches)
+	}
+	if window > 0 {
+		snap.QPS = float64(snap.Requests) / window.Seconds()
+		snap.BusyFrac = busy.Seconds() / window.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		snap.P50Ms = float64(lats[quantileIdx(len(lats), 0.50)]) / float64(time.Millisecond)
+		snap.P99Ms = float64(lats[quantileIdx(len(lats), 0.99)]) / float64(time.Millisecond)
+	}
+	return snap
+}
+
+// quantileIdx returns the index of the q-quantile in a sorted sample of
+// length n (nearest-rank method).
+func quantileIdx(n int, q float64) int {
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

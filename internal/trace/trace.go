@@ -42,9 +42,8 @@ type Workload struct {
 // batch, as in the paper's cached inference); IFMs are read and OFMs
 // written once per sample.
 func FromModel(spec dnn.ModelSpec, net *dnn.Network, prec quant.Precision, batch int) Workload {
-	scale := float64(prec.Bits()) / 32
-	weightBytes := int(float64(net.WeightBytes()) * scale)
-	ifmBytes := int(float64(net.IFMBytes()) * scale)
+	weightBytes := net.WeightBytes(prec)
+	ifmBytes := net.IFMBytes(prec)
 
 	readBytes := weightBytes + ifmBytes*batch
 	writeBytes := ifmBytes * batch // every layer's OFM is the next IFM

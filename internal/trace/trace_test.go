@@ -70,9 +70,9 @@ func TestBatchScalesIFMTrafficOnly(t *testing.T) {
 	if b16.ReadBytes <= b1.ReadBytes {
 		t.Fatal("batch did not grow traffic")
 	}
-	weightBytes := net.WeightBytes()
-	if b16.ReadBytes-b1.ReadBytes != 15*net.IFMBytes() {
-		t.Fatalf("batch growth %d, want 15×IFM %d", b16.ReadBytes-b1.ReadBytes, 15*net.IFMBytes())
+	weightBytes := net.WeightBytes(quant.FP32)
+	if b16.ReadBytes-b1.ReadBytes != 15*net.IFMBytes(quant.FP32) {
+		t.Fatalf("batch growth %d, want 15×IFM %d", b16.ReadBytes-b1.ReadBytes, 15*net.IFMBytes(quant.FP32))
 	}
 	_ = weightBytes
 }
