@@ -1,7 +1,12 @@
 // Command eden runs the end-to-end EDEN pipeline for one zoo model:
 // profile a module, fit an error model, curricularly retrain the DNN,
-// characterize its tolerable bit error rate, and print the mapped DRAM
-// operating point (a Table 3 row).
+// characterize its tolerable bit error rate (optionally per data type),
+// map it onto DRAM operating points (a Table 3 row), and optionally write
+// the resulting deployment artifact — the file cmd/serve consumes with
+// -deployment.
+//
+//	go run ./cmd/eden -model LeNet -o lenet.eden
+//	go run ./cmd/serve -deployment lenet.eden
 package main
 
 import (
@@ -21,6 +26,8 @@ func main() {
 	drop := flag.Float64("maxdrop", 0.01, "maximum tolerated accuracy drop")
 	epochs := flag.Int("epochs", 8, "curricular retraining epochs per round")
 	rounds := flag.Int("rounds", 1, "boost/characterize rounds")
+	fine := flag.Bool("fine", false, "fine-grained characterization + Algorithm-1 partition mapping")
+	out := flag.String("o", "", "write the deployment artifact to this path")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -29,20 +36,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := eden.DefaultPipeline(*vendor)
+	cfg := eden.DefaultDeploy(*vendor)
 	cfg.Prec = p
 	cfg.Char.MaxDrop = *drop
 	cfg.RetrainEpochs = *epochs
 	cfg.Rounds = *rounds
+	cfg.FineGrained = *fine
 
-	res, err := eden.RunCoarsePipeline(*model, cfg)
+	dep, err := eden.Deploy(*model, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("error model: %v (aggregate BER %.2e)\n", res.ErrorModel.Kind, res.ErrorModel.AggregateBER())
-	fmt.Printf("baseline tolerable BER: %.3e\n", res.BaselineTolBER)
-	fmt.Printf("boosted  tolerable BER: %.3e\n", res.BoostedTolBER)
-	fmt.Println(res)
+	fmt.Printf("error model: %v (aggregate BER %.2e)\n", dep.ErrorModel.Kind, dep.ErrorModel.AggregateBER())
+	fmt.Printf("baseline tolerable BER: %.3e\n", dep.BaselineTolBER)
+	fmt.Printf("boosted  tolerable BER: %.3e\n", dep.TolerableBER)
+	if *fine && !dep.FineGrained {
+		fmt.Printf("fine-grained mapping fell back to the coarse operating point: %s\n", dep.FineGrainedErr)
+	}
+	fmt.Println(dep)
+	if *out != "" {
+		if err := dep.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote deployment artifact %s (%d weight bytes at %s)\n", *out, dep.WeightBytes, dep.Prec)
+	}
 }
 
 func parsePrecision(s string) (quant.Precision, error) {

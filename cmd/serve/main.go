@@ -1,12 +1,20 @@
-// Command serve runs the batched inference-serving daemon: it loads one or
-// more zoo models (training on first use, then cached), pairs each with a
-// calibrated approximate-DRAM corruptor at the requested precision and bit
-// error rate, and serves predictions over HTTP/JSON with dynamic
-// micro-batching.
+// Command serve runs the batched inference-serving daemon. Models come in
+// two ways:
 //
+//   - -deployment art.eden[,art2.eden]: serve pipeline-produced deployment
+//     artifacts written by `cmd/eden -o` — the boosted network at the
+//     characterized operating point(s), with no dataset or training access.
+//   - -models NAME[,NAME]: load zoo models (training on first use, then
+//     cached) and serve each at an explicit raw bit error rate.
+//
+// Either way, predictions go over HTTP/JSON with dynamic micro-batching.
+//
+//	go run ./cmd/eden -model LeNet -o lenet.eden
+//	go run ./cmd/serve -deployment lenet.eden
 //	go run ./cmd/serve -models LeNet,VGG-16 -precision int8 -ber 1e-4
 //
 //	curl -s localhost:8080/v1/models
+//	curl -s localhost:8080/v1/models/LeNet
 //	curl -s -X POST localhost:8080/v1/models/LeNet/predict \
 //	     -d '{"input":[...768 floats...],"seed":7}'
 //	curl -s localhost:8080/v1/stats
@@ -20,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/eden"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/serve"
@@ -27,12 +36,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	models := flag.String("models", "LeNet", "comma-separated zoo model names to deploy")
-	precision := flag.String("precision", "int8", "storage precision: fp32, int16, int8, int4")
-	ber := flag.Float64("ber", 0, "uniform bit error rate of the serving module (0 = reliable DRAM)")
+	deployments := flag.String("deployment", "", "comma-separated deployment artifacts (from cmd/eden -o)")
+	models := flag.String("models", "", "comma-separated zoo model names to serve at -ber (default LeNet when no -deployment)")
+	precision := flag.String("precision", "int8", "storage precision for -models: fp32, int16, int8, int4")
+	ber := flag.Float64("ber", 0, "uniform bit error rate for -models (0 = reliable DRAM)")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch size cap")
 	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "batch-fill deadline")
-	calib := flag.Int("calib", 16, "calibration samples for the bounding-logic plausibility ranges")
+	calib := flag.Int("calib", 16, "calibration samples for the bounding-logic plausibility ranges (-models path)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -41,13 +51,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *deployments == "" && *models == "" {
+		*models = "LeNet"
+	}
 	s := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency})
 	defer s.Close()
-	for _, name := range strings.Split(*models, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	for _, path := range splitList(*deployments) {
+		dep, err := eden.LoadDeploymentFile(path)
+		if err != nil {
+			log.Fatal(err)
 		}
+		m, err := s.Deploy(dep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := m.Info()
+		log.Printf("deployed %s from %s: %s, tolerable BER %.2e, serving BER %.2e, ΔVDD %+.2fV, ΔtRCD %+.1fns, fine-grained %v",
+			info.Name, path, info.Precision, dep.TolerableBER, dep.ServingBER, dep.DeltaVDD, dep.DeltaTRCD, dep.FineGrained)
+	}
+	for _, name := range splitList(*models) {
 		log.Printf("loading %s (%s, BER %.2e)...", name, prec, *ber)
 		m, err := s.Register(name, serve.ModelConfig{Prec: prec, BER: *ber, CalibSamples: *calib})
 		if err != nil {
@@ -60,6 +82,17 @@ func main() {
 	log.Printf("serving on %s (max-batch %d, max-latency %v, workers %d)",
 		*addr, *maxBatch, *maxLatency, parallel.Workers())
 	log.Fatal(http.ListenAndServe(*addr, serve.NewHandler(s)))
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parsePrecision(s string) (quant.Precision, error) {

@@ -17,16 +17,30 @@
 // -workers. Parallel results are bit-identical to serial ones at any
 // worker count; see README.md for the architecture.
 //
-// # Serving
+// # Deployment artifacts and serving
+//
+// The paper's Fig. 4 pipeline is exposed as one entry point:
+// eden.Deploy runs profile → fit → boost → characterize → (optionally
+// fine-grained characterize + Algorithm-1 map over device partitions) →
+// calibrate, and captures everything needed to run the model in a
+// serializable eden.Deployment — boosted network, fitted error model,
+// operating points, per-data BER assignment, plausibility bounds.
+// cmd/eden -o writes the artifact and cmd/serve -deployment loads it, so
+// the serving path needs no dataset or training access. Corruption is
+// abstracted behind the eden.Corruptor interface (and its Cloner
+// sub-interface), with Deployment.NewCorruptor minting the corruptor an
+// artifact prescribes.
 //
 // internal/serve layers a request/response engine on the inference
 // primitives: a Server registry of deployed models (weights corrupted
-// once at load through a calibrated corruptor, IFMs corrupted per
+// once at load through the deployment's corruptor, IFMs corrupted per
 // request through seeded eden.ClonePool clones), a dynamic
 // micro-batching scheduler (collect up to MaxBatch requests or
 // MaxLatency, dispatch one ForwardBatch over the pool) and per-model
-// statistics (QPS, p50/p99 latency, batch-size histogram). cmd/serve
-// exposes it over HTTP/JSON and examples/serving load-tests it. A
-// request's output is a pure function of (model, input, seed),
+// statistics (QPS, p50/p99 latency, batch-size histogram). Server.Deploy
+// registers an artifact (Register remains the raw-BER path), cmd/serve
+// exposes both over HTTP/JSON — including GET /v1/models/{name} for
+// deployment metadata — and examples/serving load-tests them. A
+// request's output is a pure function of (deployment, input, seed),
 // independent of batch composition and worker count.
 package repro

@@ -1,7 +1,10 @@
-// The finegrained example demonstrates EDEN's fine-grained characterization
-// and Algorithm-1 mapping: each ResNet weight tensor and feature map is
-// probed for its own tolerable bit error rate, then placed into one of four
-// DRAM partitions running at different supply voltages.
+// The finegrained example demonstrates EDEN's fine-grained flow through the
+// unified Deployment API: eden.Deploy probes each ResNet weight tensor and
+// feature map for its own tolerable bit error rate, splits a simulated
+// module into four partitions at different supply voltages, measures each
+// partition's actual error rate, and runs Algorithm 1 to place every data
+// type — all captured in one artifact the serving subsystem could load
+// as-is.
 package main
 
 import (
@@ -9,60 +12,43 @@ import (
 	"log"
 
 	"repro/internal/dnn"
-	"repro/internal/dram"
 	"repro/internal/eden"
-	"repro/internal/quant"
 )
 
 func main() {
-	tm, err := dnn.Pretrained("ResNet101")
+	cfg := eden.DefaultDeploy("A")
+	cfg.Seed = 7
+	cfg.Rounds = 0 // demonstrate mapping of the baseline network; boosting is cmd/eden's job
+	cfg.Char.MaxSamples = 30
+	cfg.Char.Repeats = 1
+	cfg.Char.SearchSteps = 6
+	cfg.FineGrained = true
+	cfg.FineRounds = 3
+
+	dep, err := eden.Deploy("ResNet101", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	vendor, _ := dram.VendorByName("A")
-	device := dram.NewDevice(dram.DefaultGeometry(), vendor, 7)
-	em := eden.ProfileAndFit(device, 1.05, 64, 7)
-
-	cfg := eden.DefaultCharacterize()
-	cfg.MaxSamples = 30
-	cfg.Repeats = 1
-	cfg.SearchSteps = 6
-	coarse := eden.CoarseCharacterize(tm, tm.Net, em, cfg)
-	fmt.Printf("coarse tolerable BER: %.3e\n", coarse)
-
-	tol := eden.FineCharacterize(tm, tm.Net, em, coarse, cfg, 3)
-
-	// Build four partitions at increasing aggressiveness.
-	var parts []eden.PartitionInfo
-	capBits := device.Capacity() * 8 / 4
-	for i, mult := range []float64{0.5, 1, 1.5, 2.5} {
-		ber := coarse * mult
-		op := dram.Nominal()
-		op.VDD = vendor.VDDForBER(ber, 0.01)
-		parts = append(parts, eden.PartitionInfo{ID: i, BER: ber, Bits: capBits, Op: op})
+	fmt.Printf("coarse tolerable BER: %.3e\n", dep.TolerableBER)
+	if !dep.FineGrained {
+		log.Fatalf("fine-grained mapping fell back to the coarse operating point: %s", dep.FineGrainedErr)
 	}
-	var chars []eden.DataChar
-	for _, d := range eden.EnumerateData(tm.Net, quant.FP32) {
-		chars = append(chars, eden.DataChar{DataDesc: d, TolerableBER: tol[d.ID]})
-	}
-	assign, err := eden.MapFineGrained(chars, parts)
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	counts := map[int]int{}
-	for _, p := range assign {
+	for _, p := range dep.Assignment {
 		counts[p]++
 	}
-	for i, p := range parts {
+	for _, p := range dep.Partitions {
 		fmt.Printf("partition %d: VDD %.2fV, BER %.2e -> %d data types\n",
-			i, p.Op.VDD, p.BER, counts[i])
+			p.ID, p.Op.VDD, p.BER, counts[p.ID])
 	}
 
-	// Evaluate the mapped network: each data type sees its partition's BER.
-	corr := eden.NewSoftwareDRAM(em, quant.FP32)
-	corr.BERByData = eden.BERByAssignment(assign, parts)
-	corr.Calibrate(tm, 16, 0)
-	acc := tm.Net.Accuracy(tm.ValSet, corr.EvalOptions(0))
+	// Evaluate the mapped network: the deployment's corruptor exposes each
+	// data type to its partition's measured BER, with the bounds calibrated
+	// at deploy time.
+	tm := dnn.MustPretrained("ResNet101")
+	corr := dep.NewCorruptor()
+	acc := dep.Net.Accuracy(tm.ValSet, corr.EvalOptions(0))
 	fmt.Printf("accuracy under fine-grained mapping: %.1f%% (baseline %.1f%%)\n",
 		acc*100, tm.BaselineAcc*100)
 }

@@ -3,9 +3,11 @@
 // throughput (MaxBatch 1, one synchronous client) against micro-batched
 // throughput (MaxBatch 16, many concurrent clients), verifies that a fixed
 // request seed yields byte-identical outputs across both batching regimes,
-// and prints the achieved QPS. With -json it also writes the measurements
-// (plus raw ForwardBatch throughput) to a file, which `make bench-json`
-// uses to populate the perf trajectory.
+// and then measures the deployment-artifact path — a pipeline-produced
+// eden.Deployment served through Server.Deploy, the route `cmd/serve
+// -deployment` takes. With -json it also writes the measurements (plus raw
+// ForwardBatch throughput) to a file, which `make bench-json` uses to
+// populate the perf trajectory.
 //
 // Batched throughput scales with the worker pool: on an N-core machine the
 // micro-batch fans out across N workers, so the expected speedup over the
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/dnn"
+	"repro/internal/eden"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/serve"
@@ -65,16 +68,41 @@ func main() {
 	tm := dnn.MustPretrained(name)
 	inputs := makeInputs(tm, 64)
 	mc := serve.ModelConfig{Prec: prec, BER: *ber}
+	registerRaw := func(s *serve.Server) error {
+		_, err := s.Register(name, mc)
+		return err
+	}
 
 	// Phase 1: single synchronous client against an unbatched server.
-	qpsSingle, outSingle := loadTest(name, mc, serve.Config{MaxBatch: 1}, 1, *duration, inputs)
+	qpsSingle, outSingle := loadTest(name, registerRaw, serve.Config{MaxBatch: 1}, 1, *duration, inputs)
 	fmt.Printf("single-request QPS (MaxBatch=1, 1 client):   %8.1f\n", qpsSingle)
 
 	// Phase 2: concurrent clients against a batch-16 server.
 	cfg := serve.Config{MaxBatch: 16, MaxLatency: 2 * time.Millisecond}
-	qpsBatch, outBatch := loadTest(name, mc, cfg, *concurrency, *duration, inputs)
+	qpsBatch, outBatch := loadTest(name, registerRaw, cfg, *concurrency, *duration, inputs)
 	fmt.Printf("batched QPS       (MaxBatch=16, %2d clients): %8.1f\n", *concurrency, qpsBatch)
 	fmt.Printf("speedup: %.2fx\n", qpsBatch/qpsSingle)
+
+	// Phase 3: deployment-artifact path. Run the pipeline once on LeNet
+	// (boosting skipped for speed), serve the artifact through
+	// Server.Deploy, and measure batched QPS on that route.
+	dcfg := eden.DefaultDeploy("A")
+	dcfg.Prec = prec
+	dcfg.Rounds = 0
+	dcfg.Char.MaxSamples = 30
+	dcfg.Char.Repeats = 1
+	dcfg.Char.SearchSteps = 5
+	dep, err := eden.Deploy("LeNet", dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	depInputs := makeInputs(dnn.MustPretrained("LeNet"), 64)
+	qpsDeploy, _ := loadTest("LeNet", func(s *serve.Server) error {
+		_, err := s.Deploy(dep)
+		return err
+	}, cfg, *concurrency, *duration, depInputs)
+	fmt.Printf("deploy-path QPS   (MaxBatch=16, %2d clients): %8.1f  (LeNet, serving BER %.1e)\n",
+		*concurrency, qpsDeploy, dep.ServingBER)
 
 	// Determinism across batching regimes: the probe request (fixed seed)
 	// must come back byte-identical from both phases.
@@ -92,15 +120,18 @@ func main() {
 
 	if *jsonOut != "" {
 		rec := map[string]any{
-			"model":             name,
-			"precision":         prec.String(),
-			"ber":               *ber,
-			"workers":           parallel.Workers(),
-			"qps_single":        qpsSingle,
-			"qps_batch16":       qpsBatch,
-			"speedup":           qpsBatch / qpsSingle,
-			"forward_batch_sps": fbSPS,
-			"determinism_ok":    det,
+			"model":              name,
+			"precision":          prec.String(),
+			"ber":                *ber,
+			"workers":            parallel.Workers(),
+			"qps_single":         qpsSingle,
+			"qps_batch16":        qpsBatch,
+			"speedup":            qpsBatch / qpsSingle,
+			"qps_deploy_batch16": qpsDeploy,
+			"deploy_model":       "LeNet",
+			"deploy_serving_ber": dep.ServingBER,
+			"forward_batch_sps":  fbSPS,
+			"determinism_ok":     det,
 		}
 		buf, _ := json.MarshalIndent(rec, "", "  ")
 		buf = append(buf, '\n')
@@ -141,14 +172,15 @@ func makeInputs(tm *dnn.TrainedModel, n int) [][]float32 {
 	return out
 }
 
-// loadTest spins up a server+HTTP listener with cfg, drives it with
+// loadTest spins up a server+HTTP listener with cfg, registers the model
+// through register (raw-BER Register or artifact Deploy), drives it with
 // `clients` concurrent request loops for the window, and returns achieved
 // QPS plus the output of a fixed probe request (seed 424242, inputs[0])
 // issued after the load window for the determinism check.
-func loadTest(model string, mc serve.ModelConfig, cfg serve.Config, clients int, window time.Duration, inputs [][]float32) (float64, []float32) {
+func loadTest(model string, register func(*serve.Server) error, cfg serve.Config, clients int, window time.Duration, inputs [][]float32) (float64, []float32) {
 	s := serve.New(cfg)
 	defer s.Close()
-	if _, err := s.Register(model, mc); err != nil {
+	if err := register(s); err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

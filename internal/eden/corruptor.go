@@ -5,7 +5,10 @@
 // mapping (§3.4, mapping.go); corruptor.go provides the machinery that
 // exposes a DNN to approximate-DRAM bit errors either through fitted error
 // models (EDEN offloading, §4) or through a simulated device (the
-// device-in-the-loop path of §6.4).
+// device-in-the-loop path of §6.4). deploy.go ties the stages into the
+// single Deploy entry point, whose serializable Deployment artifact is the
+// currency between the pipeline (cmd/eden) and the serving subsystem
+// (internal/serve, cmd/serve).
 package eden
 
 import (
@@ -52,16 +55,56 @@ func EnumerateData(net *dnn.Network, prec quant.Precision) []DataDesc {
 	return out
 }
 
-// Corruptor exposes a DNN to approximate-DRAM errors: CorruptWeights
-// mutates the network's weights as stored in approximate memory (returning
-// an undo), and IFMHook corrupts feature maps in flight.
+// Corruptor exposes a DNN to approximate-DRAM errors. It is the contract
+// shared by the model-driven SoftwareDRAM (EDEN offloading, §4) and the
+// device-in-the-loop DeviceDRAM (§6.4), and the abstraction the pipeline,
+// characterization loops and serving subsystem program against.
+//
+// Determinism contract: a Corruptor's output must be a pure function of its
+// construction inputs (error model or device, precision, configuration),
+// the data ID passed to each corruption, and its pass counter. Two
+// corruptors built identically and advanced through the same NextPass
+// sequence must corrupt byte-identically; nothing may depend on wall-clock
+// time, goroutine scheduling or corruption order across distinct data IDs.
+// This is what makes characterization results reproducible and served
+// predictions a pure function of (deployment, input, seed).
 type Corruptor interface {
+	// CorruptWeights mutates the network's weights as stored in approximate
+	// memory and returns a function restoring the clean image.
 	CorruptWeights(net *dnn.Network) (restore func())
+	// IFMHook returns a hook that corrupts feature maps in flight.
 	IFMHook() dnn.IFMHook
 	// NextPass advances transient error draws; call once per evaluation or
 	// training batch.
 	NextPass()
+	// EvalOptions bundles the corruptor into dnn evaluation options.
+	EvalOptions(maxSamples int) dnn.EvalOptions
+	// Calibrate records plausibility bounds for the §5 bounding logic from
+	// clean data; margin stretches the observed ranges (default 1.5 at 0).
+	Calibrate(tm *dnn.TrainedModel, maxSamples int, margin float32)
 }
+
+// Cloner is a Corruptor that can mint independent copies of itself, which
+// is what lets ClonePool and the serving scheduler hand every request or
+// batch sample its own deterministic error stream without hard-coding a
+// concrete corruptor type.
+type Cloner interface {
+	Corruptor
+	// CloneCorruptor returns an independent corruptor whose transient error
+	// draws start at pass. Clones at equal pass values must corrupt
+	// byte-identically; distinct pass values yield deterministically
+	// different draws (per-sample seeding).
+	CloneCorruptor(pass uint64) Cloner
+	// Reset rewinds the corruptor to the start of a new evaluation pass; a
+	// reset corruptor must corrupt byte-identically to a fresh
+	// CloneCorruptor(pass) of its source.
+	Reset(pass uint64)
+}
+
+var (
+	_ Cloner    = (*SoftwareDRAM)(nil)
+	_ Corruptor = (*DeviceDRAM)(nil)
+)
 
 // SoftwareDRAM is the EDEN-offloading corruptor (§4): it injects errors
 // from a fitted error model instead of a physical device, optionally with
@@ -224,6 +267,9 @@ func (s *SoftwareDRAM) Clone(pass uint64) *SoftwareDRAM {
 	return c
 }
 
+// CloneCorruptor adapts Clone to the Cloner interface.
+func (s *SoftwareDRAM) CloneCorruptor(pass uint64) Cloner { return s.Clone(pass) }
+
 // Reset rewinds a corruptor to the start of a new evaluation pass: the
 // transient error draw restarts at pass and the correction counters clear.
 // Layout state (offsets, weak-cell caches, bounds) survives — it depends
@@ -234,7 +280,7 @@ func (s *SoftwareDRAM) Reset(pass uint64) {
 	s.Logic.Corrections = 0
 }
 
-// ClonePool recycles SoftwareDRAM clones across evaluation passes. Cloning
+// ClonePool recycles Cloner corruptors across evaluation passes. Cloning
 // per sample (SampleHooks) re-copies the bounds/offset maps and, worse,
 // rebuilds nothing the next pass can reuse; under a serving workload that
 // clones once per request, the allocation churn dominates low-latency
@@ -246,21 +292,21 @@ func (s *SoftwareDRAM) Reset(pass uint64) {
 // Get and Put are safe for concurrent use; the clones themselves remain
 // single-goroutine state between Get and Put.
 type ClonePool struct {
-	src  *SoftwareDRAM
+	src  Cloner
 	mu   sync.Mutex
-	free []*SoftwareDRAM
+	free []Cloner
 }
 
 // NewClonePool builds a pool that clones from src. src must not be mutated
 // (reconfigured, recalibrated) while the pool is in use.
-func NewClonePool(src *SoftwareDRAM) *ClonePool {
+func NewClonePool(src Cloner) *ClonePool {
 	return &ClonePool{src: src}
 }
 
 // Get returns a corruptor whose transient draws start at pass: a recycled
-// clone when one is free, a fresh Clone(pass) otherwise. Both behave
-// identically for the same pass value.
-func (p *ClonePool) Get(pass uint64) *SoftwareDRAM {
+// clone when one is free, a fresh CloneCorruptor(pass) otherwise. Both
+// behave identically for the same pass value.
+func (p *ClonePool) Get(pass uint64) Cloner {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		c := p.free[n-1]
@@ -271,11 +317,11 @@ func (p *ClonePool) Get(pass uint64) *SoftwareDRAM {
 		return c
 	}
 	p.mu.Unlock()
-	return p.src.Clone(pass)
+	return p.src.CloneCorruptor(pass)
 }
 
 // Put retires a corruptor obtained from Get back into the pool.
-func (p *ClonePool) Put(c *SoftwareDRAM) {
+func (p *ClonePool) Put(c Cloner) {
 	if c == nil {
 		return
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func uniformModel(ber float64) *errormodel.Model {
-	return &errormodel.Model{Kind: errormodel.Model0, Seed: 1, RowBits: 16384, P: 1, FA: ber}
+	return errormodel.Uniform(ber)
 }
 
 func lenet(t *testing.T) *dnn.TrainedModel {

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dnn"
 	"repro/internal/dram"
+	"repro/internal/quant"
+	"repro/internal/softmc"
 )
 
 // PartitionInfo describes one DRAM partition available to the mapper: its
@@ -91,6 +94,67 @@ func BERByAssignment(assign map[string]int, parts []PartitionInfo) map[string]fl
 	out := make(map[string]float64, len(assign))
 	for id, pid := range assign {
 		out[id] = byID[pid]
+	}
+	return out
+}
+
+// VoltagePartitions builds one PartitionInfo per level from the vendor's
+// analytic voltage curve: partition p targets BER levels[p]×baseBER, runs at
+// the lowest voltage whose expected BER stays at that target, and receives
+// an equal share of totalBits. It is the shared construction for mapping
+// demos and figures that work from the calibration curve alone;
+// PartitionDevice is the device-backed equivalent.
+func VoltagePartitions(vendor dram.VendorProfile, baseBER float64, levels []float64, totalBits int) []PartitionInfo {
+	parts := make([]PartitionInfo, len(levels))
+	for p, level := range levels {
+		ber := baseBER * level
+		op := dram.Nominal()
+		op.VDD = vendor.VDDForBER(ber, 0.01)
+		parts[p] = PartitionInfo{ID: p, BER: ber, Bits: totalBits / len(levels), Op: op}
+	}
+	return parts
+}
+
+// PartitionDevice realizes a fine-grained partition layout on a simulated
+// module: it splits the device into one partition per level, lowers each
+// partition's voltage to target BER levels[p]×baseBER on the vendor curve,
+// and then measures every partition's actual error rate with a SoftMC
+// characterization pass — the measured BERs, not the analytic targets, are
+// what Algorithm 1 maps against (§3.4). reads ≤ 0 defaults to 2.
+func PartitionDevice(device *dram.Device, vendor dram.VendorProfile, baseBER float64, levels []float64, reads int) ([]PartitionInfo, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("eden: no partition levels")
+	}
+	if err := device.DefinePartitions(len(levels)); err != nil {
+		return nil, err
+	}
+	for p, level := range levels {
+		op := dram.Nominal()
+		op.VDD = vendor.VDDForBER(baseBER*level, 0.01)
+		if err := device.SetPartitionOp(p, op); err != nil {
+			return nil, err
+		}
+	}
+	if reads <= 0 {
+		reads = 2
+	}
+	bers := softmc.PartitionBER(device, 0xAA, reads)
+	capBits := device.PartitionSize() * 8
+	parts := make([]PartitionInfo, len(levels))
+	for p := range parts {
+		parts[p] = PartitionInfo{ID: p, BER: bers[p], Bits: capBits, Op: device.PartitionOp(p)}
+	}
+	return parts, nil
+}
+
+// DataTolerances pairs every data type of net at prec with its tolerable
+// BER from a FineCharacterize map, in EnumerateData order — the input
+// MapFineGrained consumes.
+func DataTolerances(net *dnn.Network, prec quant.Precision, tol map[string]float64) []DataChar {
+	data := EnumerateData(net, prec)
+	out := make([]DataChar, len(data))
+	for i, d := range data {
+		out[i] = DataChar{DataDesc: d, TolerableBER: tol[d.ID]}
 	}
 	return out
 }

@@ -113,7 +113,7 @@ func TestClonePoolMatchesFreshClones(t *testing.T) {
 	// Cycle the same physical clone through the pool over the passes in a
 	// different order; each Get must reproduce the fresh-clone stream.
 	for _, pass := range []uint64{42, 0, 7, 42, 7, 0} {
-		c := pool.Get(pass)
+		c := pool.Get(pass).(*SoftwareDRAM)
 		got := c.corruptTensor(x, "ifm:pool")
 		for j := range got.Data {
 			if got.Data[j] != want[pass].Data[j] {

@@ -73,55 +73,32 @@ func ProfileAndFit(device *dram.Device, profileVDD float64, maxRows int, seed ui
 	return errormodel.Select(prof, seed)
 }
 
-// RunCoarsePipeline executes the full coarse-grained EDEN flow for a zoo
-// model: profile the module, fit an error model, boost the DNN with
-// curricular retraining (iterating while the tolerable BER improves),
-// characterize it, and map it to the most aggressive operating point that
-// meets the accuracy target.
+// RunCoarsePipeline executes the coarse-grained EDEN flow for a zoo model —
+// profile, fit, boost while the tolerable BER improves, characterize, map —
+// as a thin view over Deploy, which is the full entry point (it adds
+// fine-grained mapping, calibration capture and serialization).
 func RunCoarsePipeline(modelName string, cfg PipelineConfig) (*PipelineResult, error) {
+	// Skip the artifact-capture tail (network snapshot, bounds
+	// calibration): PipelineResult exposes none of it.
+	dep, err := deploy(modelName, DeployConfig{PipelineConfig: cfg}, false)
+	if err != nil {
+		return nil, err
+	}
 	vendor, err := dram.VendorByName(cfg.Vendor)
 	if err != nil {
 		return nil, err
 	}
-	tm, err := dnn.Pretrained(modelName)
-	if err != nil {
-		return nil, err
-	}
-	device := dram.NewDevice(dram.DefaultGeometry(), vendor, cfg.Seed)
-	em := ProfileAndFit(device, cfg.ProfileVDD, cfg.ProfileMaxRows, cfg.Seed)
-
-	res := &PipelineResult{ModelName: modelName, Vendor: vendor, ErrorModel: em}
-	cfg.Char.Prec = cfg.Prec
-	res.BaselineTolBER = CoarseCharacterize(tm, tm.Net, em, cfg.Char)
-
-	best := tm.Net
-	bestTol := res.BaselineTolBER
-	target := bestTol * 4
-	if target < 1e-3 {
-		target = 1e-3
-	}
-	for round := 0; round < cfg.Rounds; round++ {
-		rc := DefaultRetrain(em, target)
-		rc.Epochs = cfg.RetrainEpochs
-		rc.Prec = cfg.Prec
-		rc.Seed = cfg.Seed + uint64(round)
-		boosted := Retrain(tm, rc)
-		tol := CoarseCharacterize(tm, boosted, em, cfg.Char)
-		if tol > bestTol {
-			best = boosted
-			bestTol = tol
-			target = tol * 2
-		} else {
-			break
-		}
-	}
-	res.Boosted = best
-	res.BoostedTolBER = bestTol
-
-	res.Op = CoarseMap(vendor, bestTol)
-	res.DeltaVDD = res.Op.VDD - dram.NominalVDD
-	res.DeltaTRCD = res.Op.Timing.TRCD - dram.NominalTiming().TRCD
-	return res, nil
+	return &PipelineResult{
+		ModelName:      modelName,
+		Vendor:         vendor,
+		ErrorModel:     dep.ErrorModel,
+		Boosted:        dep.Net,
+		BaselineTolBER: dep.BaselineTolBER,
+		BoostedTolBER:  dep.TolerableBER,
+		Op:             dep.Op,
+		DeltaVDD:       dep.DeltaVDD,
+		DeltaTRCD:      dep.DeltaTRCD,
+	}, nil
 }
 
 // String renders the result as a Table 3 row.

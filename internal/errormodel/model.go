@@ -69,6 +69,15 @@ type Model struct {
 	FW []float64
 }
 
+// Uniform returns a Model-0 error model in which every cell is weak and
+// flips with probability ber on each access — the uniform random model used
+// wherever no fitted module profile is available (raw-BER serving, tests,
+// ablations). RowBits matches the default device geometry so MSB alignment
+// behaves as on the modelled module.
+func Uniform(ber float64) *Model {
+	return &Model{Kind: Model0, Seed: 1, RowBits: 16384, P: 1, FA: ber}
+}
+
 // weakProb returns the probability that the cell at (row, bitline) is weak.
 func (m *Model) weakProb(row, bitline int) float64 {
 	switch m.Kind {

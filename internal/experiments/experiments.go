@@ -42,12 +42,12 @@ func (r Report) String() string {
 
 // zeroModel is a BER-0 uniform model used for quantize-only evaluation.
 func zeroModel() *errormodel.Model {
-	return &errormodel.Model{Kind: errormodel.Model0, Seed: 1, RowBits: 16384, P: 1, FA: 0}
+	return errormodel.Uniform(0)
 }
 
 // uniformModel is a uniform random model at the given BER.
 func uniformModel(ber float64) *errormodel.Model {
-	return &errormodel.Model{Kind: errormodel.Model0, Seed: 1, RowBits: 16384, P: 1, FA: ber}
+	return errormodel.Uniform(ber)
 }
 
 // Table1ModelZoo reproduces Table 1: the model inventory with weight and

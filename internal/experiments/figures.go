@@ -332,18 +332,9 @@ func Figure12Mapping() (Report, error) {
 	vendor, _ := dram.VendorByName("A")
 	// Four partitions at increasing aggressiveness; BERs from the vendor
 	// curve, capacity split evenly over a 4MiB module.
-	levels := []float64{coarse * 0.5, coarse, coarse * 1.5, coarse * 2.5}
-	var parts []eden.PartitionInfo
-	capBits := dram.DefaultGeometry().Capacity() * 8 / 4
-	for i, ber := range levels {
-		op := dram.Nominal()
-		op.VDD = vendor.VDDForBER(ber, 0.01)
-		parts = append(parts, eden.PartitionInfo{ID: i, BER: ber, Bits: capBits, Op: op})
-	}
-	var chars []eden.DataChar
-	for _, d := range eden.EnumerateData(tm.Net, quant.FP32) {
-		chars = append(chars, eden.DataChar{DataDesc: d, TolerableBER: tol[d.ID]})
-	}
+	parts := eden.VoltagePartitions(vendor, coarse, []float64{0.5, 1, 1.5, 2.5},
+		dram.DefaultGeometry().Capacity()*8)
+	chars := eden.DataTolerances(tm.Net, quant.FP32, tol)
 	assign, err := eden.MapFineGrained(chars, parts)
 	if err != nil {
 		return r, err

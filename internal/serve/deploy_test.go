@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eden"
+	"repro/internal/quant"
+)
+
+var (
+	depOnce   sync.Once
+	depCached *eden.Deployment
+	depErr    error
+)
+
+// testDeployment runs eden.Deploy once (cheap configuration, no boosting)
+// and shares the artifact across the package's tests.
+func testDeployment(t *testing.T) *eden.Deployment {
+	t.Helper()
+	depOnce.Do(func() {
+		cfg := eden.DefaultDeploy("A")
+		cfg.Prec = quant.Int8
+		cfg.Rounds = 0
+		cfg.Char.MaxSamples = 20
+		cfg.Char.Repeats = 1
+		cfg.Char.SearchSteps = 4
+		cfg.Char.MaxDrop = 0.05
+		depCached, depErr = eden.Deploy("LeNet", cfg)
+	})
+	if depErr != nil {
+		t.Fatal(depErr)
+	}
+	return depCached
+}
+
+// TestDeployServeEndToEnd is the pipeline→artifact→serving contract: a zoo
+// model deployed via eden.Deploy, round-tripped through the serialized
+// artifact, and served through serve.Server must answer every (input, seed)
+// pair byte-identically across batch sizes, worker counts and the
+// save/load boundary — responses are a pure function of (deployment
+// artifact, input, seed).
+func TestDeployServeEndToEnd(t *testing.T) {
+	dep := testDeployment(t)
+	if dep.ServingBER <= 0 {
+		t.Fatal("deployment serves at zero BER; corrupted path not exercised")
+	}
+
+	// Round-trip the artifact so the served state is exactly what a
+	// cmd/serve -deployment invocation would load from disk.
+	var buf bytes.Buffer
+	if err := dep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := eden.LoadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inputs := testInputs(t, "LeNet", 10)
+	run := func(d *eden.Deployment, cfg Config, workers int, concurrent bool) [][]float32 {
+		setWorkers(t, workers)
+		s := New(cfg)
+		defer s.Close()
+		m, err := s.Deploy(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return predictAll(t, m, inputs, concurrent)
+	}
+
+	want := run(dep, Config{MaxBatch: 1}, 1, false)
+	cases := []struct {
+		name string
+		dep  *eden.Deployment
+		cfg  Config
+		w    int
+	}{
+		{"fresh-batch8-workers4", dep, Config{MaxBatch: 8, MaxLatency: 20 * time.Millisecond}, 4},
+		{"loaded-batch1-workers1", loaded, Config{MaxBatch: 1}, 1},
+		{"loaded-batch4-workers2", loaded, Config{MaxBatch: 4, MaxLatency: 10 * time.Millisecond}, 2},
+	}
+	for _, tc := range cases {
+		got := run(tc.dep, tc.cfg, tc.w, true)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("%s: sample %d output length %d != %d", tc.name, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%s: sample %d element %d: %v != %v", tc.name, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestDeployRegistration covers the Deploy registration lifecycle and its
+// interaction with Register.
+func TestDeployRegistration(t *testing.T) {
+	dep := testDeployment(t)
+	s := New(Config{MaxBatch: 1})
+	defer s.Close()
+	m, err := s.Deploy(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deployment() != dep {
+		t.Fatal("model lost its deployment metadata")
+	}
+	info := m.Info()
+	if info.Precision != "int8" || info.BER != dep.ServingBER {
+		t.Fatalf("info %+v", info)
+	}
+	detail := m.Detail()
+	if detail.Deployment == nil || detail.Deployment.TolerableBER != dep.TolerableBER {
+		t.Fatalf("detail %+v", detail)
+	}
+	// The name is taken — both paths must refuse it.
+	if _, err := s.Deploy(dep); err == nil {
+		t.Fatal("duplicate Deploy accepted")
+	}
+	if _, err := s.Register("LeNet", ModelConfig{}); err == nil {
+		t.Fatal("Register over a deployed name accepted")
+	}
+	if _, err := s.Deploy(nil); err == nil {
+		t.Fatal("nil deployment accepted")
+	}
+	res, err := m.Predict(context.Background(), testInputs(t, "LeNet", 1)[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArgMax < 0 || res.ArgMax >= len(res.Output) {
+		t.Fatalf("argmax %d out of range", res.ArgMax)
+	}
+}
+
+// TestRegisterReservesName pins the duplicate-registration race fix: of N
+// concurrent registrations of one name exactly one wins, the losers fail
+// fast at reservation time, and a failed build releases its reservation
+// instead of poisoning the name.
+func TestRegisterReservesName(t *testing.T) {
+	s := New(Config{MaxBatch: 1})
+	defer s.Close()
+	const clients = 4
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Register("LeNet", ModelConfig{})
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, err := range errs {
+		if err == nil {
+			ok++
+		} else if !strings.Contains(err.Error(), "already registered") {
+			t.Fatalf("unexpected racer error: %v", err)
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("%d successful registrations of one name, want 1", ok)
+	}
+	// A failed load must release the reservation: retrying an unknown model
+	// reports the load error again, not "already registered".
+	for i := 0; i < 2; i++ {
+		_, err := s.Register("NoSuchModel", ModelConfig{})
+		if err == nil {
+			t.Fatal("unknown model accepted")
+		}
+		if strings.Contains(err.Error(), "already registered") {
+			t.Fatalf("reservation leaked after failed load: %v", err)
+		}
+	}
+}

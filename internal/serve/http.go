@@ -26,6 +26,7 @@ type PredictResponse struct {
 // NewHandler exposes a Server over HTTP/JSON:
 //
 //	GET  /v1/models                    — deployed model inventory
+//	GET  /v1/models/{name}             — one model's deployment metadata
 //	GET  /v1/stats                     — per-model serving statistics
 //	POST /v1/models/{name}/predict     — one prediction
 func NewHandler(s *Server) http.Handler {
@@ -37,6 +38,15 @@ func NewHandler(s *Server) http.Handler {
 			infos[i] = m.Info()
 		}
 		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /v1/models/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		m, ok := s.Model(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown model "+name)
+			return
+		}
+		writeJSON(w, http.StatusOK, m.Detail())
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		out := map[string]Snapshot{}

@@ -5,12 +5,19 @@
 // requests up to MaxBatch or MaxLatency and dispatches them as one
 // dnn.ForwardBatch over the shared parallel.Pool.
 //
+// The primary registration path is Server.Deploy, which consumes the
+// eden.Deployment artifact the pipeline produces (boosted network, fitted
+// error model, operating points, fine-grained BER assignment, calibrated
+// bounds) and therefore needs no dataset or training access. Register
+// remains as the raw-BER path for serving a zoo model at an explicit error
+// rate without running the pipeline.
+//
 // Determinism is preserved end to end: every request carries a seed, the
 // scheduler draws a per-request corruptor clone from an eden.ClonePool
 // reset to that seed, and ForwardBatch is bit-identical to serial
 // per-sample forwards — so a request's output is a pure function of
-// (model, input, seed), independent of batch composition, worker count
-// and scheduling.
+// (deployment, input, seed), independent of batch composition, worker
+// count and scheduling.
 package serve
 
 import (
@@ -79,58 +86,98 @@ type ModelConfig struct {
 // Server owns the model registry and the scheduler configuration shared by
 // all models registered on it.
 type Server struct {
-	cfg    Config
-	mu     sync.RWMutex
-	models map[string]*Model
-	closed bool
+	cfg      Config
+	mu       sync.RWMutex
+	models   map[string]*Model
+	reserved map[string]bool
+	closed   bool
 }
 
 // New builds an empty server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), models: map[string]*Model{}}
+	return &Server{cfg: cfg.withDefaults(), models: map[string]*Model{}, reserved: map[string]bool{}}
 }
 
 // Config returns the scheduler configuration (defaults applied).
 func (s *Server) Config() Config { return s.cfg }
 
-// Register loads (training or reading from cache) the named zoo model,
-// prepares its corruptor, and starts its scheduler. The weight image is
-// corrupted once at load time — as in EDEN, weights live in approximate
-// DRAM from the moment the model is stored there — while IFMs are
-// corrupted per request through seeded corruptor clones.
-func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
+// reserve claims a model name before the expensive build starts, so
+// concurrent registrations of the same name fail fast instead of training a
+// model only to throw it away at publication time.
+func (s *Server) reserve(name string) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.models[name]; dup || s.reserved[name] {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	s.reserved[name] = true
+	return nil
+}
+
+// release abandons a reservation after a failed build.
+func (s *Server) release(name string) {
+	s.mu.Lock()
+	delete(s.reserved, name)
+	s.mu.Unlock()
+}
+
+// commit publishes a built model under its reservation and starts its
+// scheduler.
+func (s *Server) commit(m *Model) error {
+	s.mu.Lock()
+	delete(s.reserved, m.name)
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	if _, dup := s.models[name]; dup {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: model %q already registered", name)
-	}
+	s.models[m.name] = m
 	s.mu.Unlock()
+	go m.loop()
+	return nil
+}
 
-	tm, err := dnn.Pretrained(name)
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{
+// newModel builds the scheduler scaffolding shared by every registration
+// path.
+func (s *Server) newModel(name string, spec dnn.ModelSpec, net *dnn.Network) *Model {
+	return &Model{
 		name:     name,
 		cfg:      s.cfg,
-		prec:     mc.Prec,
-		ber:      mc.BER,
-		spec:     tm.Spec,
-		net:      tm.CloneNet(),
-		inputLen: tm.Net.InC * tm.Net.InH * tm.Net.InW,
+		spec:     spec,
+		net:      net,
+		inputLen: net.InC * net.InH * net.InW,
 		queue:    make(chan *pending, s.cfg.QueueDepth),
 		quit:     make(chan struct{}),
 		stats:    newStats(s.cfg.MaxBatch),
 	}
+}
+
+// Register loads (training or reading from cache) the named zoo model,
+// prepares a raw-BER corruptor, and starts its scheduler. It is the legacy
+// registration path, kept for serving at an explicit BER without running
+// the pipeline; Deploy is the primary path and serves pipeline-produced
+// artifacts. The weight image is corrupted once at load time — as in EDEN,
+// weights live in approximate DRAM from the moment the model is stored
+// there — while IFMs are corrupted per request through seeded corruptor
+// clones.
+func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
+	if err := s.reserve(name); err != nil {
+		return nil, err
+	}
+	tm, err := dnn.Pretrained(name)
+	if err != nil {
+		s.release(name)
+		return nil, err
+	}
+	m := s.newModel(name, tm.Spec, tm.CloneNet())
+	m.prec = mc.Prec
+	m.ber = mc.BER
 	if mc.BER > 0 || mc.ForceQuant {
 		em := mc.Model
 		if em == nil {
-			// Uniform random model (errormodel 0) at the requested BER.
-			em = &errormodel.Model{Kind: errormodel.Model0, Seed: 1, RowBits: 16384, P: 1, FA: mc.BER}
+			em = errormodel.Uniform(mc.BER)
 		}
 		corr := eden.NewSoftwareDRAM(em, mc.Prec)
 		corr.BER = mc.BER
@@ -144,18 +191,48 @@ func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
 		corr.CorruptWeights(m.net)
 		m.pool = eden.NewClonePool(corr)
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
+	if err := s.commit(m); err != nil {
+		return nil, err
 	}
-	if _, dup := s.models[name]; dup {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: model %q already registered", name)
+	return m, nil
+}
+
+// Deploy registers a pipeline-produced deployment artifact: the boosted
+// network is served at the artifact's precision under the error exposure
+// the pipeline characterized — per-data partition BERs when fine-grained
+// mapping succeeded, the mapped operating point's uniform BER otherwise —
+// with the plausibility bounds calibrated at deploy time. Everything needed
+// was captured by eden.Deploy, so no dataset or training access happens
+// here; a loaded artifact (eden.LoadDeploymentFile) serves identically to a
+// freshly deployed one.
+func (s *Server) Deploy(dep *eden.Deployment) (*Model, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("serve: nil deployment")
 	}
-	s.models[name] = m
-	s.mu.Unlock()
-	go m.loop()
+	if err := s.reserve(dep.ModelName); err != nil {
+		return nil, err
+	}
+	spec, err := dnn.LookupSpec(dep.ModelName)
+	if err != nil {
+		s.release(dep.ModelName)
+		return nil, err
+	}
+	net, err := dep.CloneNet()
+	if err != nil {
+		s.release(dep.ModelName)
+		return nil, err
+	}
+	m := s.newModel(dep.ModelName, spec, net)
+	m.prec = dep.Prec
+	m.ber = dep.ServingBER
+	m.dep = dep
+	corr := dep.NewCorruptor()
+	// Static weight image at the deployment's operating point(s).
+	corr.CorruptWeights(net)
+	m.pool = eden.NewClonePool(corr)
+	if err := s.commit(m); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -199,7 +276,9 @@ func (s *Server) Close() {
 }
 
 // Model is one deployed DNN: a weight-corrupted network, its corruptor
-// clone pool, its request queue and its scheduler.
+// clone pool, its request queue and its scheduler. dep is non-nil for
+// models registered through Server.Deploy and carries the pipeline
+// metadata the detail endpoint reports.
 type Model struct {
 	name     string
 	cfg      Config
@@ -209,6 +288,7 @@ type Model struct {
 	net      *dnn.Network
 	inputLen int
 	pool     *eden.ClonePool
+	dep      *eden.Deployment
 	queue    chan *pending
 	quit     chan struct{}
 	stats    *Stats
@@ -276,6 +356,73 @@ func (m *Model) Info() Info {
 		InputDims:   [3]int{m.net.InC, m.net.InH, m.net.InW},
 		OutputLen:   outLen,
 	}
+}
+
+// Deployment returns the eden artifact the model was registered from, or
+// nil for raw-BER Register models.
+func (m *Model) Deployment() *eden.Deployment { return m.dep }
+
+// DeploymentDetail is the pipeline metadata of a model registered through
+// Server.Deploy, as reported by GET /v1/models/{name}.
+type DeploymentDetail struct {
+	Vendor       string             `json:"vendor"`
+	TolerableBER float64            `json:"tolerable_ber"`
+	ServingBER   float64            `json:"serving_ber"`
+	DeltaVDD     float64            `json:"delta_vdd"`
+	DeltaTRCD    float64            `json:"delta_trcd_ns"`
+	FineGrained  bool               `json:"fine_grained"`
+	Partitions   []PartitionSummary `json:"partitions,omitempty"`
+}
+
+// PartitionSummary condenses one fine-grained partition of a deployment:
+// its operating point, measured BER, capacity and how many DNN data types
+// Algorithm 1 assigned to it.
+type PartitionSummary struct {
+	ID        int     `json:"id"`
+	BER       float64 `json:"ber"`
+	VDD       float64 `json:"vdd"`
+	TRCDNs    float64 `json:"trcd_ns"`
+	Bits      int     `json:"bits"`
+	DataTypes int     `json:"data_types"`
+}
+
+// ModelDetail is the full per-model description: the inventory Info plus
+// deployment metadata when the model came from a pipeline artifact.
+type ModelDetail struct {
+	Info
+	Deployment *DeploymentDetail `json:"deployment,omitempty"`
+}
+
+// Detail returns the model's full description.
+func (m *Model) Detail() ModelDetail {
+	d := ModelDetail{Info: m.Info()}
+	if m.dep == nil {
+		return d
+	}
+	dd := &DeploymentDetail{
+		Vendor:       m.dep.Vendor,
+		TolerableBER: m.dep.TolerableBER,
+		ServingBER:   m.dep.ServingBER,
+		DeltaVDD:     m.dep.DeltaVDD,
+		DeltaTRCD:    m.dep.DeltaTRCD,
+		FineGrained:  m.dep.FineGrained,
+	}
+	counts := map[int]int{}
+	for _, p := range m.dep.Assignment {
+		counts[p]++
+	}
+	for _, p := range m.dep.Partitions {
+		dd.Partitions = append(dd.Partitions, PartitionSummary{
+			ID:        p.ID,
+			BER:       p.BER,
+			VDD:       p.Op.VDD,
+			TRCDNs:    p.Op.Timing.TRCD,
+			Bits:      p.Bits,
+			DataTypes: counts[p.ID],
+		})
+	}
+	d.Deployment = dd
+	return d
 }
 
 // Predict enqueues one request and blocks until its micro-batch is served.
@@ -365,9 +512,9 @@ func (m *Model) dispatch(batch []*pending) {
 		xs[i] = p.x
 	}
 	opt := dnn.BatchOptions{}
-	var clones []*eden.SoftwareDRAM
+	var clones []eden.Cloner
 	if m.pool != nil {
-		clones = make([]*eden.SoftwareDRAM, len(batch))
+		clones = make([]eden.Cloner, len(batch))
 		opt.HookFor = func(i int) dnn.IFMHook {
 			c := m.pool.Get(batch[i].seed)
 			clones[i] = c
