@@ -12,19 +12,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/tensor/ ./internal/dnn/ ./internal/parallel/ ./internal/eden/ ./internal/serve/
+	$(GO) test -race -short ./internal/tensor/ ./internal/compute/ ./internal/dnn/ ./internal/parallel/ ./internal/eden/ ./internal/serve/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dnn/ ./internal/serve/
 
 # bench-json runs the end-to-end serving load test (single-request vs
-# micro-batched QPS over HTTP, the deployment-artifact serving path, plus
-# raw ForwardBatch throughput) and records the measurements for the perf
-# trajectory. BENCH_pr*.json files are committed deliberately as that
-# trajectory's per-PR data points (numbers are host-specific; CI
-# regenerates and prints its own run).
+# micro-batched QPS over HTTP on every compute backend, the
+# deployment-artifact serving path, plus raw per-backend ForwardBatch
+# throughput) and records the measurements for the perf trajectory.
+# BENCH_pr*.json files are committed deliberately as that trajectory's
+# per-PR data points (numbers are host-specific; CI regenerates and
+# prints its own run).
 bench-json:
-	$(GO) run ./examples/serving -duration 3s -json BENCH_pr4.json
+	$(GO) run ./examples/serving -duration 3s -json BENCH_pr5.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -13,9 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
+	"repro/internal/compute"
 	"repro/internal/eden"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/quant"
 )
 
@@ -29,12 +32,28 @@ func main() {
 	fine := flag.Bool("fine", false, "fine-grained characterization + Algorithm-1 partition mapping")
 	out := flag.String("o", "", "write the deployment artifact to this path")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", compute.Default().Name(),
+		fmt.Sprintf("compute backend for the characterization sweeps: %s (bit-identical; wall-clock only)", strings.Join(compute.Names(), ", ")))
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the pipeline run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the run ends")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	p, err := parsePrecision(*prec)
+	backend, err := compute.ByName(*backendName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	compute.SetDefault(backend)
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := profiling.Fatal(stopProf)
+
+	p, err := parsePrecision(*prec)
+	if err != nil {
+		fatal(err)
 	}
 	cfg := eden.DefaultDeploy(*vendor)
 	cfg.Prec = p
@@ -42,10 +61,11 @@ func main() {
 	cfg.RetrainEpochs = *epochs
 	cfg.Rounds = *rounds
 	cfg.FineGrained = *fine
+	cfg.Backend = backend
 
 	dep, err := eden.Deploy(*model, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("error model: %v (aggregate BER %.2e)\n", dep.ErrorModel.Kind, dep.ErrorModel.AggregateBER())
 	fmt.Printf("baseline tolerable BER: %.3e\n", dep.BaselineTolBER)
@@ -56,9 +76,12 @@ func main() {
 	fmt.Println(dep)
 	if *out != "" {
 		if err := dep.SaveFile(*out); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("wrote deployment artifact %s (%d weight bytes at %s)\n", *out, dep.WeightBytes, dep.Prec)
+	}
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -7,12 +7,18 @@
 //   - -models NAME[,NAME]: load zoo models (training on first use, then
 //     cached) and serve each at an explicit raw bit error rate.
 //
-// Either way, predictions go over HTTP/JSON with dynamic micro-batching.
+// Either way, predictions go over HTTP/JSON with dynamic micro-batching,
+// on the compute backend selected by -backend (gemm by default; all
+// backends are bit-identical, so the flag tunes throughput only). The
+// daemon exposes GET /v1/healthz for load-balancer probes and drains
+// gracefully on SIGINT/SIGTERM: the probe flips to 503, in-flight
+// requests finish, then the listener closes.
 //
 //	go run ./cmd/eden -model LeNet -o lenet.eden
 //	go run ./cmd/serve -deployment lenet.eden
 //	go run ./cmd/serve -models LeNet,VGG-16 -precision int8 -ber 1e-4
 //
+//	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/models
 //	curl -s localhost:8080/v1/models/LeNet
 //	curl -s -X POST localhost:8080/v1/models/LeNet/predict \
@@ -21,15 +27,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/eden"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/quant"
 	"repro/internal/serve"
 )
@@ -44,12 +56,31 @@ func main() {
 	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "batch-fill deadline")
 	calib := flag.Int("calib", 16, "calibration samples for the bounding-logic plausibility ranges (-models path)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", compute.Default().Name(),
+		fmt.Sprintf("compute backend for all served models: %s (bit-identical; throughput only)", strings.Join(compute.Names(), ", ")))
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	drainNotice := flag.Duration("drain-notice", 3*time.Second,
+		"how long /v1/healthz advertises 503 before the listener closes (set to ~2x the balancer's probe interval)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	prec, err := parsePrecision(*precision)
+	backend, err := compute.ByName(*backendName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	compute.SetDefault(backend)
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := profiling.Fatal(stopProf)
+
+	prec, err := parsePrecision(*precision)
+	if err != nil {
+		fatal(err)
 	}
 	if *deployments == "" && *models == "" {
 		*models = "LeNet"
@@ -59,29 +90,64 @@ func main() {
 	for _, path := range splitList(*deployments) {
 		dep, err := eden.LoadDeploymentFile(path)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		m, err := s.Deploy(dep)
+		m, err := s.Deploy(dep, serve.WithBackend(backend))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		info := m.Info()
-		log.Printf("deployed %s from %s: %s, tolerable BER %.2e, serving BER %.2e, ΔVDD %+.2fV, ΔtRCD %+.1fns, fine-grained %v",
-			info.Name, path, info.Precision, dep.TolerableBER, dep.ServingBER, dep.DeltaVDD, dep.DeltaTRCD, dep.FineGrained)
+		log.Printf("deployed %s from %s: %s on %s, tolerable BER %.2e, serving BER %.2e, ΔVDD %+.2fV, ΔtRCD %+.1fns, fine-grained %v",
+			info.Name, path, info.Precision, info.Backend, dep.TolerableBER, dep.ServingBER, dep.DeltaVDD, dep.DeltaTRCD, dep.FineGrained)
 	}
 	for _, name := range splitList(*models) {
 		log.Printf("loading %s (%s, BER %.2e)...", name, prec, *ber)
-		m, err := s.Register(name, serve.ModelConfig{Prec: prec, BER: *ber, CalibSamples: *calib})
+		m, err := s.Register(name, serve.ModelConfig{Prec: prec, BER: *ber, CalibSamples: *calib, Backend: backend})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		info := m.Info()
-		log.Printf("deployed %s: %d params, %d weight bytes at %s",
-			info.Name, info.Params, info.WeightBytes, info.Precision)
+		log.Printf("deployed %s: %d params, %d weight bytes at %s on %s",
+			info.Name, info.Params, info.WeightBytes, info.Precision, info.Backend)
 	}
-	log.Printf("serving on %s (max-batch %d, max-latency %v, workers %d)",
-		*addr, *maxBatch, *maxLatency, parallel.Workers())
-	log.Fatal(http.ListenAndServe(*addr, serve.NewHandler(s)))
+
+	// Serve until SIGINT/SIGTERM, then drain in load-balancer order:
+	// BeginDrain flips /v1/healthz to 503 and the listener stays open for
+	// -drain-notice so the balancer's next probe can observe the flip and
+	// stop routing here while traffic keeps being served; Shutdown then
+	// closes the listener and waits for active requests (bounded by
+	// -drain), and only after that does Close tear the schedulers down.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on %s (backend %s, max-batch %d, max-latency %v, workers %d)",
+		*addr, backend.Name(), *maxBatch, *maxLatency, parallel.Workers())
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore default signal handling right away: a second SIGINT/SIGTERM
+	// during the drain must force-quit instead of being swallowed.
+	stopSignals()
+	log.Printf("shutdown signal received, advertising drain for %v, then draining for up to %v", *drainNotice, *drain)
+	s.BeginDrain()
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	s.Close()
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
 }
 
 // splitList splits a comma-separated flag, dropping empty entries.

@@ -6,16 +6,30 @@
 // that regenerates every table and figure of the paper's evaluation in
 // bench_test.go.
 //
-// # Parallel execution
+// # Compute backends and parallel execution
 //
-// All hot paths share the worker pool in internal/parallel: tensor
-// kernels (row-blocked MatMul, output-channel-parallel Conv2D), batched
-// inference (dnn.Network.ForwardBatch with per-sample corruptor clones),
-// and the characterization and sweep loops in internal/eden and
-// internal/experiments, which run one operating point per worker. The
-// pool defaults to GOMAXPROCS and every cmd binary exposes it as
-// -workers. Parallel results are bit-identical to serial ones at any
-// worker count; see README.md for the architecture.
+// The four kernels every pass bottoms out in (MatMul, MatMulTransB,
+// Conv2D, Conv2DBackward) live behind the pluggable compute.Backend
+// interface in internal/compute: "ref" is the direct-loop reference,
+// "gemm" (the default) lowers convolution via im2col to a cache-blocked
+// GEMM staged in per-goroutine pool-recycled scratch slabs. Blocking is
+// applied over output coordinates only, never across the k reduction, so
+// backends are bit-identical on every model — backend choice is a pure
+// throughput knob, selectable process-wide (-backend on cmd/eden,
+// cmd/serve, examples/serving; compute.SetDefault), per network
+// (dnn.Network.SetBackend, threaded through eden.DeployConfig.Backend
+// into the characterization sweeps), and per served model
+// (serve.ModelConfig.Backend, serve.WithBackend).
+//
+// All hot paths share the worker pool in internal/parallel: the compute
+// kernels, batched inference (dnn.Network.ForwardBatch with per-sample
+// corruptor clones), and the characterization and sweep loops in
+// internal/eden and internal/experiments, which run one operating point
+// per worker. The pool defaults to GOMAXPROCS and every cmd binary
+// exposes it as -workers. Parallel results are bit-identical to serial
+// ones at any worker count; see README.md for the architecture.
+// cmd/eden and cmd/serve take -cpuprofile/-memprofile (internal/profiling)
+// so kernel work can be driven by pprof evidence.
 //
 // # Deployment artifacts and serving
 //
@@ -40,7 +54,10 @@
 // statistics (QPS, p50/p99 latency, batch-size histogram). Server.Deploy
 // registers an artifact (Register remains the raw-BER path), cmd/serve
 // exposes both over HTTP/JSON — including GET /v1/models/{name} for
-// deployment metadata — and examples/serving load-tests them. A
-// request's output is a pure function of (deployment, input, seed),
-// independent of batch composition and worker count.
+// deployment metadata and GET /v1/healthz for load-balancer probes, with
+// graceful drain on SIGINT/SIGTERM (Server.BeginDrain flips the probe to
+// 503 while in-flight traffic completes, then http.Server.Shutdown) —
+// and examples/serving load-tests them per backend. A request's output
+// is a pure function of (deployment, input, seed), independent of batch
+// composition, worker count and compute backend.
 package repro

@@ -1,17 +1,19 @@
 // The serving example load-tests the batched inference server end to end
-// over HTTP: it deploys the zoo's largest CNN, measures single-request
-// throughput (MaxBatch 1, one synchronous client) against micro-batched
-// throughput (MaxBatch 16, many concurrent clients), verifies that a fixed
-// request seed yields byte-identical outputs across both batching regimes,
-// and then measures the deployment-artifact path — a pipeline-produced
-// eden.Deployment served through Server.Deploy, the route `cmd/serve
-// -deployment` takes. With -json it also writes the measurements (plus raw
-// ForwardBatch throughput) to a file, which `make bench-json` uses to
-// populate the perf trajectory.
+// over HTTP, across compute backends: it deploys the zoo's largest CNN,
+// measures single-request throughput (MaxBatch 1, one synchronous client)
+// against micro-batched throughput (MaxBatch 16, many concurrent clients)
+// on every registered compute backend, verifies that a fixed request seed
+// yields byte-identical outputs across both batching regimes and across
+// backends, and then measures the deployment-artifact path — a
+// pipeline-produced eden.Deployment served through Server.Deploy, the
+// route `cmd/serve -deployment` takes. With -json it writes the
+// measurements (per-backend serve QPS and raw ForwardBatch samples/sec)
+// to a file, which `make bench-json` uses to populate the perf
+// trajectory.
 //
-// Batched throughput scales with the worker pool: on an N-core machine the
-// micro-batch fans out across N workers, so the expected speedup over the
-// single-request regime approaches min(N, batch size).
+// Batched throughput scales with the worker pool; the gemm backend's
+// im2col+GEMM convolutions add a further multiple on top of the fan-out,
+// at bit-identical outputs.
 package main
 
 import (
@@ -23,10 +25,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/dnn"
 	"repro/internal/eden"
 	"repro/internal/parallel"
@@ -38,13 +42,21 @@ import (
 func main() {
 	model := flag.String("model", "", "zoo model to serve (default: largest CNN by weight bytes)")
 	duration := flag.Duration("duration", 3*time.Second, "measurement window per phase")
-	concurrency := flag.Int("concurrency", 32, "concurrent clients in the batched phase")
+	concurrency := flag.Int("concurrency", 32, "concurrent clients in the batched phases")
 	ber := flag.Float64("ber", 1e-4, "serving bit error rate")
 	precision := flag.String("precision", "int8", "storage precision")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", compute.Default().Name(),
+		fmt.Sprintf("compute backend for the single-request and deploy phases: %s (the batched phase always measures every backend)", strings.Join(compute.Names(), ", ")))
 	jsonOut := flag.String("json", "", "write measurements to this JSON file")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	flagBackend, err := compute.ByName(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compute.SetDefault(flagBackend)
 
 	prec := quant.Int8
 	switch *precision {
@@ -64,24 +76,53 @@ func main() {
 	if name == "" {
 		name = largestCNN()
 	}
-	fmt.Printf("model: %s, precision %s, BER %.1e, workers %d\n", name, prec, *ber, parallel.Workers())
+	fmt.Printf("model: %s, precision %s, BER %.1e, workers %d, backend %s\n",
+		name, prec, *ber, parallel.Workers(), flagBackend.Name())
 	tm := dnn.MustPretrained(name)
 	inputs := makeInputs(tm, 64)
-	mc := serve.ModelConfig{Prec: prec, BER: *ber}
-	registerRaw := func(s *serve.Server) error {
-		_, err := s.Register(name, mc)
-		return err
+	registerOn := func(bk compute.Backend) func(*serve.Server) error {
+		return func(s *serve.Server) error {
+			_, err := s.Register(name, serve.ModelConfig{Prec: prec, BER: *ber, Backend: bk})
+			return err
+		}
 	}
 
-	// Phase 1: single synchronous client against an unbatched server.
-	qpsSingle, outSingle := loadTest(name, registerRaw, serve.Config{MaxBatch: 1}, 1, *duration, inputs)
-	fmt.Printf("single-request QPS (MaxBatch=1, 1 client):   %8.1f\n", qpsSingle)
+	// Phase 1: single synchronous client against an unbatched server on
+	// the flag-selected backend.
+	qpsSingle, outSingle := loadTest(name, registerOn(flagBackend), serve.Config{MaxBatch: 1}, 1, *duration, inputs)
+	fmt.Printf("single-request QPS (MaxBatch=1, 1 client, %s):  %8.1f\n", flagBackend.Name(), qpsSingle)
 
-	// Phase 2: concurrent clients against a batch-16 server.
+	// Phase 2: concurrent clients against a batch-16 server, once per
+	// compute backend. The fixed-seed probe output of every run must match
+	// the single-request probe byte for byte: batching regime, worker
+	// fan-out and backend are all invisible to the bits.
 	cfg := serve.Config{MaxBatch: 16, MaxLatency: 2 * time.Millisecond}
-	qpsBatch, outBatch := loadTest(name, registerRaw, cfg, *concurrency, *duration, inputs)
-	fmt.Printf("batched QPS       (MaxBatch=16, %2d clients): %8.1f\n", *concurrency, qpsBatch)
-	fmt.Printf("speedup: %.2fx\n", qpsBatch/qpsSingle)
+	type backendResult struct {
+		QPSBatch16      float64 `json:"qps_batch16"`
+		ForwardBatchSPS float64 `json:"forward_batch_sps"`
+	}
+	perBackend := map[string]backendResult{}
+	det := true
+	for _, bn := range compute.Names() {
+		bk, err := compute.ByName(bn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qps, out := loadTest(name, registerOn(bk), cfg, *concurrency, *duration, inputs)
+		tm.Net.SetBackend(bk)
+		sps := forwardBatchSPS(tm, 16, *duration/2)
+		tm.Net.SetBackend(nil)
+		perBackend[bn] = backendResult{QPSBatch16: qps, ForwardBatchSPS: sps}
+		det = det && floatsEqual(out, outSingle)
+		fmt.Printf("batched QPS       (MaxBatch=16, %2d clients, %4s): %8.1f   raw ForwardBatch: %8.1f samples/s\n",
+			*concurrency, bn, qps, sps)
+	}
+	ref, gemm := perBackend["ref"], perBackend["gemm"]
+	haveSpeedup := ref.ForwardBatchSPS > 0 && ref.QPSBatch16 > 0
+	if haveSpeedup {
+		fmt.Printf("gemm over ref: %.2fx ForwardBatch, %.2fx serve QPS\n",
+			gemm.ForwardBatchSPS/ref.ForwardBatchSPS, gemm.QPSBatch16/ref.QPSBatch16)
+	}
 
 	// Phase 3: deployment-artifact path. Run the pipeline once on LeNet
 	// (boosting skipped for speed), serve the artifact through
@@ -92,31 +133,24 @@ func main() {
 	dcfg.Char.MaxSamples = 30
 	dcfg.Char.Repeats = 1
 	dcfg.Char.SearchSteps = 5
+	dcfg.Backend = flagBackend
 	dep, err := eden.Deploy("LeNet", dcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	depInputs := makeInputs(dnn.MustPretrained("LeNet"), 64)
 	qpsDeploy, _ := loadTest("LeNet", func(s *serve.Server) error {
-		_, err := s.Deploy(dep)
+		_, err := s.Deploy(dep, serve.WithBackend(flagBackend))
 		return err
 	}, cfg, *concurrency, *duration, depInputs)
-	fmt.Printf("deploy-path QPS   (MaxBatch=16, %2d clients): %8.1f  (LeNet, serving BER %.1e)\n",
-		*concurrency, qpsDeploy, dep.ServingBER)
+	fmt.Printf("deploy-path QPS   (MaxBatch=16, %2d clients, %4s): %8.1f  (LeNet, serving BER %.1e)\n",
+		*concurrency, flagBackend.Name(), qpsDeploy, dep.ServingBER)
 
-	// Determinism across batching regimes: the probe request (fixed seed)
-	// must come back byte-identical from both phases.
-	det := floatsEqual(outSingle, outBatch)
 	if det {
-		fmt.Println("determinism: OK — fixed seed byte-identical across batch sizes")
+		fmt.Println("determinism: OK — fixed seed byte-identical across batch sizes and backends")
 	} else {
-		fmt.Println("determinism: FAILED — outputs differ across batch sizes")
+		fmt.Println("determinism: FAILED — outputs differ across batch sizes or backends")
 	}
-
-	// Raw engine throughput for the perf trajectory: ForwardBatch over the
-	// worker pool, no HTTP, no corruption.
-	fbSPS := forwardBatchSPS(tm, 16, *duration/2)
-	fmt.Printf("raw ForwardBatch throughput: %.1f samples/s\n", fbSPS)
 
 	if *jsonOut != "" {
 		rec := map[string]any{
@@ -124,16 +158,21 @@ func main() {
 			"precision":          prec.String(),
 			"ber":                *ber,
 			"workers":            parallel.Workers(),
+			"backends":           perBackend,
 			"qps_single":         qpsSingle,
-			"qps_batch16":        qpsBatch,
-			"speedup":            qpsBatch / qpsSingle,
 			"qps_deploy_batch16": qpsDeploy,
 			"deploy_model":       "LeNet",
 			"deploy_serving_ber": dep.ServingBER,
-			"forward_batch_sps":  fbSPS,
 			"determinism_ok":     det,
 		}
-		buf, _ := json.MarshalIndent(rec, "", "  ")
+		if haveSpeedup {
+			rec["gemm_speedup_forward_batch"] = gemm.ForwardBatchSPS / ref.ForwardBatchSPS
+			rec["gemm_speedup_qps"] = gemm.QPSBatch16 / ref.QPSBatch16
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
 			log.Fatal(err)
@@ -242,7 +281,7 @@ func predict(client *http.Client, base, model string, input []float32, seed uint
 }
 
 // forwardBatchSPS measures raw ForwardBatch samples/sec at the given batch
-// size over roughly the window.
+// size over roughly the window, on the network's current backend.
 func forwardBatchSPS(tm *dnn.TrainedModel, batch int, window time.Duration) float64 {
 	rng := tensor.NewRNG(0xF0)
 	xs := make([]*tensor.Tensor, batch)

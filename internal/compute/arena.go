@@ -1,0 +1,32 @@
+package compute
+
+import "sync"
+
+// The scratch arena recycles the float32 slabs the Gemm backend stages
+// im2col patch matrices in. Kernels run once per layer per forward, so
+// without recycling every convolution would allocate (and garbage-collect)
+// a patch matrix per call — at serving rates that is the dominant
+// allocation source after the activations themselves. A slab is checked
+// out by exactly one goroutine between getScratch and putScratch, which
+// makes the buffers per-goroutine by construction: parallel workers inside
+// one Conv2D, and concurrent per-sample forwards in ForwardBatch, each
+// draw their own slab and never share bytes.
+var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getScratch returns a slab with at least n usable elements. The contents
+// are unspecified: callers must write every element they read (the im2col
+// fill writes the full patch matrix, including the padding zeros, so no
+// clearing pass is needed).
+func getScratch(n int) *[]float32 {
+	s := scratchPool.Get().(*[]float32)
+	if cap(*s) < n {
+		*s = make([]float32, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+// putScratch returns a slab to the pool. The slab must not be used after.
+func putScratch(s *[]float32) {
+	scratchPool.Put(s)
+}

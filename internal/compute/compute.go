@@ -1,0 +1,105 @@
+// Package compute is the repository's pluggable compute-kernel layer. The
+// four kernels every forward and backward pass bottoms out in — MatMul,
+// MatMulTransB, Conv2D and Conv2DBackward — live behind the Backend
+// interface, with two implementations:
+//
+//   - Ref: the direct loops (row-blocked MatMul, per-output-plane direct
+//     convolution), the repository's original kernels and the semantic
+//     reference every other backend is held to.
+//   - Gemm: Conv2D lowered via im2col to a cache-blocked GEMM, with
+//     per-goroutine pool-recycled scratch buffers so the patch matrices
+//     allocate nothing in steady state. The serving hot path runs here.
+//
+// Every backend is bit-identical to Ref on finite inputs: blocking is only
+// ever applied over independent output coordinates (matrix rows, output
+// pixels), never over the shared reduction dimension, so each output
+// element accumulates its k contributions in exactly the reference order
+// and rounds identically. Combined with the worker-count invariance of
+// internal/parallel, a model produces the same bits on any backend at any
+// worker count — which is what lets serving pick a backend per model
+// without perturbing the repository's determinism contract (seeded
+// corruptor streams, pinned characterization outcomes, cached trained
+// models).
+//
+// Backend selection: layers hold an explicit Backend (see
+// dnn.Network.SetBackend) and fall back to the process-wide Default, which
+// the cmd binaries expose as -backend.
+package compute
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// Backend implements the four compute kernels the DNN stack is built on.
+// Implementations must be safe for concurrent use and bit-identical to Ref
+// on finite inputs at every worker count.
+type Backend interface {
+	// Name is the stable identifier used by -backend flags and the
+	// serving API.
+	Name() string
+	// MatMul computes C = A (m×k) * B (k×n) into a fresh m×n tensor.
+	MatMul(a, b *tensor.Tensor) *tensor.Tensor
+	// MatMulTransB computes C = A (m×k) * Bᵀ where B is n×k, the layout
+	// fully-connected layers store their weights in (out×in).
+	MatMulTransB(a, b *tensor.Tensor) *tensor.Tensor
+	// Conv2D convolves input (N,C,H,W) with weights (F,C/groups,KH,KW) and
+	// an optional bias of length F, producing (N,F,OH,OW).
+	Conv2D(in, w, bias *tensor.Tensor, p tensor.Conv2DParams) *tensor.Tensor
+	// Conv2DBackward computes the gradients of a Conv2D call: dIn (shaped
+	// like in), dW (shaped like w) and dBias (length F, nil unless hasBias).
+	Conv2DBackward(in, w *tensor.Tensor, hasBias bool, dOut *tensor.Tensor, p tensor.Conv2DParams) (dIn, dW, dBias *tensor.Tensor)
+}
+
+// Ref is the direct-loop reference backend.
+var Ref Backend = refBackend{}
+
+// Gemm is the im2col+GEMM backend; the default for inference hot paths.
+var Gemm Backend = gemmBackend{}
+
+var backends = map[string]Backend{
+	Ref.Name():  Ref,
+	Gemm.Name(): Gemm,
+}
+
+// defaultBackend holds the process-wide fallback used by layers with no
+// explicit backend. Gemm: bit-identical to Ref and faster on every
+// convolutional model.
+var defaultBackend atomic.Pointer[Backend]
+
+func init() { defaultBackend.Store(&Gemm) }
+
+// Default returns the process-wide default backend.
+func Default() Backend { return *defaultBackend.Load() }
+
+// SetDefault installs b as the process-wide default (the cmd binaries plumb
+// their -backend flag here). A nil b resets to Gemm. It returns the backend
+// actually installed.
+func SetDefault(b Backend) Backend {
+	if b == nil {
+		b = Gemm
+	}
+	defaultBackend.Store(&b)
+	return b
+}
+
+// ByName resolves a backend by its flag name.
+func ByName(name string) (Backend, error) {
+	if b, ok := backends[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("compute: unknown backend %q (have %v)", name, Names())
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package dnn
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TestBackendsBitIdenticalOnZoo pins the acceptance contract of the
+// pluggable compute layer: for every zoo architecture, a forward pass on
+// the Gemm backend produces exactly the bits the Ref backend produces, at
+// several worker counts. Deterministically initialized (untrained)
+// networks exercise the same kernel shapes as trained ones, so this
+// covers the full architecture inventory cheaply.
+func TestBackendsBitIdenticalOnZoo(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	for _, spec := range Zoo {
+		t.Run(spec.Name, func(t *testing.T) {
+			net, err := BuildModel(spec.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := tensor.NewRNG(0xB17)
+			x := tensor.New(2, net.InC, net.InH, net.InW)
+			x.FillUniform(rng, -1, 1)
+
+			parallel.SetWorkers(1)
+			net.SetBackend(compute.Ref)
+			want := net.Forward(x, false, nil)
+
+			for _, w := range []int{1, 4} {
+				parallel.SetWorkers(w)
+				for _, b := range []compute.Backend{compute.Ref, compute.Gemm} {
+					net.SetBackend(b)
+					got := net.Forward(x, false, nil)
+					if !got.Shape().Equal(want.Shape()) {
+						t.Fatalf("%s workers=%d: shape %v != %v", b.Name(), w, got.Shape(), want.Shape())
+					}
+					for i := range want.Data {
+						if got.Data[i] != want.Data[i] {
+							t.Fatalf("%s workers=%d: output[%d] = %v, want %v (bit-exact)",
+								b.Name(), w, i, got.Data[i], want.Data[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSetBackendPropagatesAndClones checks that SetBackend reaches every
+// kernel-invoking layer through composite blocks, and that CloneNetFrom
+// inherits the pinned backend.
+func TestSetBackendPropagatesAndClones(t *testing.T) {
+	net, err := BuildModel("ResNet101") // deepest composite nesting in the zoo
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetBackend(compute.Ref)
+	if net.Backend() != compute.Ref {
+		t.Fatal("Network.Backend() did not report the pinned backend")
+	}
+	count := 0
+	walkLayers(net.Layers, func(l Layer) {
+		switch v := l.(type) {
+		case *Conv:
+			count++
+			if v.backend() != compute.Ref {
+				t.Fatalf("conv %s did not receive the pinned backend", v.LayerName)
+			}
+		case *FC:
+			count++
+			if v.backend() != compute.Ref {
+				t.Fatalf("fc %s did not receive the pinned backend", v.LayerName)
+			}
+		}
+	})
+	if count == 0 {
+		t.Fatal("walker found no kernel-invoking layers")
+	}
+
+	tm := &TrainedModel{Spec: mustSpec(t, "ResNet101"), Net: net}
+	clone := tm.CloneNetFrom(net)
+	if clone.Backend() != compute.Ref {
+		t.Fatal("CloneNetFrom did not inherit the pinned backend")
+	}
+
+	net.SetBackend(nil)
+	if net.Backend() != compute.Default() {
+		t.Fatal("SetBackend(nil) should revert to the process default")
+	}
+}
+
+func mustSpec(t *testing.T, name string) ModelSpec {
+	t.Helper()
+	spec, err := LookupSpec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}

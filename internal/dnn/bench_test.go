@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/compute"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -26,10 +27,10 @@ func largestCNN(b *testing.B) *Network {
 }
 
 // BenchmarkForwardBatch measures batched inference on the zoo's largest
-// CNN across worker counts. The workers=1 case is the serial reference;
-// on a multi-core machine workers=4 should show at least a 2x speedup
-// (the outputs are bit-identical at every worker count, so the comparison
-// is apples-to-apples).
+// CNN across backends and worker counts. The ref/workers=1 case is the
+// serial direct-convolution baseline; gemm is the im2col+GEMM lowering.
+// Outputs are bit-identical across every cell of the matrix, so the
+// comparison is apples-to-apples.
 func BenchmarkForwardBatch(b *testing.B) {
 	net := largestCNN(b)
 	const batch = 16
@@ -41,20 +42,23 @@ func BenchmarkForwardBatch(b *testing.B) {
 	}
 	prev := parallel.Workers()
 	defer parallel.SetWorkers(prev)
-	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			parallel.SetWorkers(w)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				net.ForwardBatch(xs, BatchOptions{})
-			}
-		})
+	for _, bk := range []compute.Backend{compute.Ref, compute.Gemm} {
+		net.SetBackend(bk)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("backend=%s/workers=%d", bk.Name(), w), func(b *testing.B) {
+				parallel.SetWorkers(w)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					net.ForwardBatch(xs, BatchOptions{})
+				}
+			})
+		}
 	}
+	net.SetBackend(nil)
 }
 
-// BenchmarkForwardSingle measures one-sample latency, where the row- and
-// channel-parallel kernels (rather than sample fan-out) provide the
-// speedup.
+// BenchmarkForwardSingle measures one-sample latency, where the kernels'
+// internal blocking (rather than sample fan-out) provides the speedup.
 func BenchmarkForwardSingle(b *testing.B) {
 	net := largestCNN(b)
 	rng := tensor.NewRNG(0xBE7D)
@@ -62,12 +66,16 @@ func BenchmarkForwardSingle(b *testing.B) {
 	x.FillUniform(rng, -1, 1)
 	prev := parallel.Workers()
 	defer parallel.SetWorkers(prev)
-	for _, w := range []int{1, 4} {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			parallel.SetWorkers(w)
-			for i := 0; i < b.N; i++ {
-				net.Forward(x, false, nil)
-			}
-		})
+	for _, bk := range []compute.Backend{compute.Ref, compute.Gemm} {
+		net.SetBackend(bk)
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("backend=%s/workers=%d", bk.Name(), w), func(b *testing.B) {
+				parallel.SetWorkers(w)
+				for i := 0; i < b.N; i++ {
+					net.Forward(x, false, nil)
+				}
+			})
+		}
 	}
+	net.SetBackend(nil)
 }

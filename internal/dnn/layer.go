@@ -10,8 +10,31 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
+
+// backendHolder is embedded by the layers that invoke compute kernels
+// (Conv, FC). A nil backend falls through to the process-wide
+// compute.Default(); Network.SetBackend walks the layer tree and pins an
+// explicit one, which is how serving gives each deployed model its own
+// backend. Set the backend before sharing a network across goroutines —
+// the field is read, not locked, on the forward path.
+type backendHolder struct {
+	b compute.Backend
+}
+
+// SetBackend pins the layer's compute backend; nil reverts to the
+// process default.
+func (h *backendHolder) SetBackend(b compute.Backend) { h.b = b }
+
+// backend returns the effective backend.
+func (h *backendHolder) backend() compute.Backend {
+	if h.b != nil {
+		return h.b
+	}
+	return compute.Default()
+}
 
 // Param is one trainable tensor with its gradient and momentum buffers.
 type Param struct {
@@ -37,6 +60,7 @@ type Layer interface {
 
 // Conv is a 2-D convolution layer with optional bias.
 type Conv struct {
+	backendHolder
 	LayerName string
 	P         tensor.Conv2DParams
 	Weight    *Param
@@ -77,12 +101,12 @@ func (l *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if l.Bias != nil {
 		b = l.Bias.W
 	}
-	return tensor.Conv2D(x, l.Weight.W, b, l.P)
+	return l.backend().Conv2D(x, l.Weight.W, b, l.P)
 }
 
 // Backward propagates dOut and accumulates weight/bias gradients.
 func (l *Conv) Backward(dOut *tensor.Tensor) *tensor.Tensor {
-	dIn, dW, dB := tensor.Conv2DBackward(l.lastInput, l.Weight.W, l.Bias != nil, dOut, l.P)
+	dIn, dW, dB := l.backend().Conv2DBackward(l.lastInput, l.Weight.W, l.Bias != nil, dOut, l.P)
 	l.lastInput = nil
 	l.Weight.G.AddScaled(dW, 1)
 	if l.Bias != nil {
@@ -101,6 +125,7 @@ func (l *Conv) Params() []*Param {
 
 // FC is a fully-connected layer storing weights out×in.
 type FC struct {
+	backendHolder
 	LayerName string
 	Weight    *Param
 	Bias      *Param
@@ -129,7 +154,7 @@ func (l *FC) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.lastInput = flat
 		l.lastShape = x.Shape().Clone()
 	}
-	out := tensor.MatMulTransB(flat, l.Weight.W)
+	out := l.backend().MatMulTransB(flat, l.Weight.W)
 	ncols := out.Dim(1)
 	for i := 0; i < n; i++ {
 		for j := 0; j < ncols; j++ {
@@ -160,7 +185,7 @@ func (l *FC) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dX = dOut * W
-	dIn := tensor.MatMul(dOut, l.Weight.W)
+	dIn := l.backend().MatMul(dOut, l.Weight.W)
 	return dIn.Reshape(l.lastShape...)
 }
 

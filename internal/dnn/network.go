@@ -3,6 +3,7 @@ package dnn
 import (
 	"math"
 
+	"repro/internal/compute"
 	"repro/internal/dataset"
 	"repro/internal/parallel"
 	"repro/internal/quant"
@@ -25,10 +26,36 @@ type Network struct {
 	InC, InH, InW int
 	// Detection metadata; nil for classifiers.
 	Det *DetectionHead
+	// backend is the pinned compute backend, nil for the process default;
+	// see SetBackend.
+	backend compute.Backend
 }
 
 // Name returns the model name.
 func (n *Network) Name() string { return n.ModelName }
+
+// SetBackend pins the compute backend every kernel-invoking layer of the
+// network runs on (nil reverts to the process-wide compute.Default). All
+// backends are bit-identical, so the choice affects throughput only —
+// serving uses this to give each deployed model its own backend. Pin the
+// backend before the network serves concurrent forwards: the layer fields
+// it writes are read unlocked on the hot path.
+func (n *Network) SetBackend(b compute.Backend) {
+	n.backend = b
+	walkLayers(n.Layers, func(l Layer) {
+		if h, ok := l.(interface{ SetBackend(compute.Backend) }); ok {
+			h.SetBackend(b)
+		}
+	})
+}
+
+// Backend returns the effective compute backend.
+func (n *Network) Backend() compute.Backend {
+	if n.backend != nil {
+		return n.backend
+	}
+	return compute.Default()
+}
 
 // Forward runs the network. hook, when non-nil, is applied to each layer's
 // input feature map.

@@ -48,6 +48,12 @@ func (m *TrainedModel) CloneNetFrom(net *Network) *Network {
 	for i := range src {
 		copy(dst[i].T.Data, src[i].T.Data)
 	}
+	// The clone inherits the source's pinned compute backend, so a
+	// backend-threaded sweep (characterization probes cloning per worker)
+	// keeps running on the backend its caller selected.
+	if net.backend != nil {
+		fresh.SetBackend(net.backend)
+	}
 	return fresh
 }
 

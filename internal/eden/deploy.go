@@ -150,15 +150,25 @@ func deploy(modelName string, cfg DeployConfig, capture bool) (*Deployment, erro
 	em := ProfileAndFit(device, cfg.ProfileVDD, cfg.ProfileMaxRows, cfg.Seed)
 	cfg.Char.Prec = cfg.Prec
 
+	// Characterization probes fan out over network clones, which inherit
+	// their source's pinned backend — so pinning the base network here
+	// threads cfg.Backend through every sweep below. The shared cached
+	// tm.Net is never mutated.
+	base := tm.Net
+	if cfg.Backend != nil {
+		base = tm.CloneNet()
+		base.SetBackend(cfg.Backend)
+	}
+
 	dep := &Deployment{
 		ModelName:  modelName,
 		Vendor:     vendor.Name,
 		Prec:       cfg.Prec,
 		ErrorModel: em,
 	}
-	dep.BaselineTolBER = CoarseCharacterize(tm, tm.Net, em, cfg.Char)
+	dep.BaselineTolBER = CoarseCharacterize(tm, base, em, cfg.Char)
 
-	best, bestTol := boost(tm, em, dep.BaselineTolBER, cfg.PipelineConfig)
+	best, bestTol := boost(tm, base, em, dep.BaselineTolBER, cfg.PipelineConfig)
 	dep.TolerableBER = bestTol
 	dep.Op = CoarseMap(vendor, bestTol)
 	dep.DeltaVDD = dep.Op.VDD - dram.NominalVDD
@@ -206,10 +216,12 @@ func deploy(modelName string, cfg DeployConfig, capture bool) (*Deployment, erro
 
 // boost runs the boost↔characterize rounds of the pipeline: curricularly
 // retrain toward a rising BER target while the characterized tolerable BER
-// keeps improving. It returns the best network (tm's own when no round
-// improved on the baseline) and its tolerable BER.
-func boost(tm *dnn.TrainedModel, em *errormodel.Model, baseline float64, cfg PipelineConfig) (*dnn.Network, float64) {
-	best := tm.Net
+// keeps improving. It returns the best network (base itself when no round
+// improved on the baseline) and its tolerable BER. base is tm's network,
+// possibly backend-pinned by the caller; retrained candidates are pinned
+// the same way so every probe runs on the configured backend.
+func boost(tm *dnn.TrainedModel, base *dnn.Network, em *errormodel.Model, baseline float64, cfg PipelineConfig) (*dnn.Network, float64) {
+	best := base
 	bestTol := baseline
 	target := bestTol * 4
 	if target < 1e-3 {
@@ -220,6 +232,7 @@ func boost(tm *dnn.TrainedModel, em *errormodel.Model, baseline float64, cfg Pip
 		rc.Epochs = cfg.RetrainEpochs
 		rc.Prec = cfg.Prec
 		rc.Seed = cfg.Seed + uint64(round)
+		rc.Backend = cfg.Backend
 		boosted := Retrain(tm, rc)
 		tol := CoarseCharacterize(tm, boosted, em, cfg.Char)
 		if tol > bestTol {

@@ -3,6 +3,7 @@ package eden
 import (
 	"fmt"
 
+	"repro/internal/compute"
 	"repro/internal/dnn"
 	"repro/internal/dram"
 	"repro/internal/errormodel"
@@ -14,6 +15,11 @@ import (
 type PipelineConfig struct {
 	Vendor string
 	Prec   quant.Precision
+	// Backend pins the compute backend the characterization sweeps and
+	// boosting forwards run on; nil uses the process-wide default. All
+	// backends are bit-identical, so this changes pipeline wall-clock
+	// only, never its outcome.
+	Backend compute.Backend
 	// Char controls the characterization probes; Char.MaxDrop is the
 	// user-specified accuracy target.
 	Char CharacterizeConfig

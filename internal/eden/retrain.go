@@ -1,6 +1,7 @@
 package eden
 
 import (
+	"repro/internal/compute"
 	"repro/internal/dnn"
 	"repro/internal/memctrl"
 	"repro/internal/parallel"
@@ -33,6 +34,10 @@ type RetrainConfig struct {
 	LR     float64
 	Batch  int
 	Seed   uint64
+	// Backend pins the compute backend the retraining passes run on; nil
+	// uses the process default. Backends are bit-identical, so this only
+	// moves wall-clock (and pprof samples), never the boosted weights.
+	Backend compute.Backend
 }
 
 // DefaultRetrain returns the configuration used throughout the evaluation.
@@ -57,6 +62,9 @@ func DefaultRetrain(m *errormodel.Model, targetBER float64) RetrainConfig {
 // the boosted network; tm itself is not modified.
 func Retrain(tm *dnn.TrainedModel, cfg RetrainConfig) *dnn.Network {
 	net := tm.CloneNet()
+	if cfg.Backend != nil {
+		net.SetBackend(cfg.Backend)
+	}
 	corr := NewSoftwareDRAM(cfg.Model, cfg.Prec)
 	corr.SetPolicy(cfg.Policy)
 	corr.CalibrateNet(tm, net, 32, 0)

@@ -1,0 +1,63 @@
+// Package profiling wires the -cpuprofile/-memprofile flags the cmd
+// binaries expose, so future performance work on the compute hot path can
+// be driven by pprof evidence instead of guesses.
+package profiling
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Fatal wraps log.Fatal for binaries that profile: log.Fatal skips
+// deferred calls, so fatal exit paths must flush the profiles explicitly
+// or the CPU profile ends up truncated. The returned function flushes via
+// stop, then logs and exits.
+func Fatal(stop func() error) func(v ...any) {
+	return func(v ...any) {
+		_ = stop()
+		log.Fatal(v...)
+	}
+}
+
+// Start begins CPU profiling when cpuPath is non-empty. The returned stop
+// function ends CPU profiling and, when memPath is non-empty, writes an
+// allocation-site heap profile (after a GC, so it reflects live objects).
+// Call stop exactly once, on every exit path — deferring it in main works
+// for normal returns; signal-driven shutdowns must call it before
+// os.Exit.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

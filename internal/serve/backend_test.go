@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/quant"
+)
+
+// TestPerModelBackend registers the same architecture twice under different
+// compute backends on one server and checks that (a) each model reports its
+// own backend, and (b) a fixed (input, seed) request returns byte-identical
+// outputs from both — the backend is a throughput knob, never a semantic
+// one.
+func TestPerModelBackend(t *testing.T) {
+	setWorkers(t, 2)
+	s := New(Config{MaxBatch: 2, MaxLatency: time.Millisecond})
+	defer s.Close()
+	if _, err := s.Register("LeNet", ModelConfig{Prec: quant.Int8, BER: 1e-4, Backend: compute.Ref}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := s.Register("AlexNet", ModelConfig{Prec: quant.Int8, BER: 1e-4, Backend: compute.Gemm}); err != nil {
+		t.Fatal(err)
+	} else if m.Info().Backend != "gemm" {
+		t.Fatalf("AlexNet backend %q, want gemm", m.Info().Backend)
+	}
+	mRef, _ := s.Model("LeNet")
+	if mRef.Info().Backend != "ref" {
+		t.Fatalf("LeNet backend %q, want ref", mRef.Info().Backend)
+	}
+
+	// Same model, same request, both backends: byte-identical outputs.
+	in := make([]float32, mRef.Info().InputDims[0]*mRef.Info().InputDims[1]*mRef.Info().InputDims[2])
+	for i := range in {
+		in[i] = float32(i%7) - 3
+	}
+	s2 := New(Config{MaxBatch: 2, MaxLatency: time.Millisecond})
+	defer s2.Close()
+	if _, err := s2.Register("LeNet", ModelConfig{Prec: quant.Int8, BER: 1e-4, Backend: compute.Gemm}); err != nil {
+		t.Fatal(err)
+	}
+	mGemm, _ := s2.Model("LeNet")
+	rRef, err := mRef.Predict(context.Background(), in, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rGemm, err := mGemm.Predict(context.Background(), in, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rRef.Output) != len(rGemm.Output) {
+		t.Fatalf("output lengths differ: %d vs %d", len(rRef.Output), len(rGemm.Output))
+	}
+	for i := range rRef.Output {
+		if rRef.Output[i] != rGemm.Output[i] {
+			t.Fatalf("output[%d] differs across backends: %v vs %v", i, rRef.Output[i], rGemm.Output[i])
+		}
+	}
+}
+
+// TestDeployWithBackend pins the artifact path's backend option.
+func TestDeployWithBackend(t *testing.T) {
+	setWorkers(t, 1)
+	s := New(Config{MaxBatch: 1})
+	defer s.Close()
+	m, err := s.Deploy(testDeployment(t), WithBackend(compute.Ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Info().Backend != "ref" {
+		t.Fatalf("deployed backend %q, want ref", m.Info().Backend)
+	}
+}
+
+// TestHealthz covers the load-balancer probe through the drain sequence:
+// 200 with the model count while serving, 503 "draining" after BeginDrain
+// (predictions still succeed), 503 "closing" after Close.
+func TestHealthz(t *testing.T) {
+	setWorkers(t, 1)
+	s := New(Config{MaxBatch: 1})
+	if _, err := s.Register("LeNet", ModelConfig{Prec: quant.FP32}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	probe := func() (int, HealthResponse) {
+		resp, err := http.Get(srv.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, hr
+	}
+
+	if code, hr := probe(); code != http.StatusOK || hr.Status != "ok" || hr.Models != 1 {
+		t.Fatalf("healthz while serving: status %d body %+v", code, hr)
+	}
+
+	s.BeginDrain()
+	if code, hr := probe(); code != http.StatusServiceUnavailable || hr.Status != "draining" {
+		t.Fatalf("healthz while draining: status %d body %+v", code, hr)
+	}
+	// Requests already routed here must still be served during the drain.
+	m, _ := s.Model("LeNet")
+	in := make([]float32, m.Info().InputDims[0]*m.Info().InputDims[1]*m.Info().InputDims[2])
+	if _, err := m.Predict(context.Background(), in, 1); err != nil {
+		t.Fatalf("predict during drain: %v", err)
+	}
+
+	s.Close()
+	if code, hr := probe(); code != http.StatusServiceUnavailable || hr.Status != "closing" {
+		t.Fatalf("healthz after close: status %d body %+v", code, hr)
+	}
+}

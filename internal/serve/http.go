@@ -23,14 +23,41 @@ type PredictResponse struct {
 	LatencyMs float64   `json:"latency_ms"`
 }
 
+// HealthResponse is the JSON reply of GET /v1/healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Models int    `json:"models"`
+}
+
 // NewHandler exposes a Server over HTTP/JSON:
 //
+//	GET  /v1/healthz                   — liveness/readiness probe
 //	GET  /v1/models                    — deployed model inventory
 //	GET  /v1/models/{name}             — one model's deployment metadata
 //	GET  /v1/stats                     — per-model serving statistics
 //	POST /v1/models/{name}/predict     — one prediction
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Load balancers poll this to decide whether to route traffic:
+		// 200 while the server accepts work, 503 from the moment
+		// BeginDrain (or Close) runs, so the balancer takes the instance
+		// out of rotation while in-flight requests still complete.
+		s.mu.RLock()
+		status := "ok"
+		if s.closed {
+			status = "closing"
+		} else if s.draining {
+			status = "draining"
+		}
+		n := len(s.models)
+		s.mu.RUnlock()
+		code := http.StatusOK
+		if status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, HealthResponse{Status: status, Models: n})
+	})
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
 		models := s.Models()
 		infos := make([]Info, len(models))

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compute"
 	"repro/internal/dnn"
 	"repro/internal/eden"
 	"repro/internal/errormodel"
@@ -81,6 +82,11 @@ type ModelConfig struct {
 	// CalibSamples bounds the clean forward passes used to calibrate the
 	// §5 bounding-logic plausibility ranges (default 16).
 	CalibSamples int
+	// Backend pins the compute backend this model's forwards run on; nil
+	// uses the process-wide compute.Default(). Backends are bit-identical,
+	// so the choice tunes throughput per model without perturbing the
+	// (deployment, input, seed) → output contract.
+	Backend compute.Backend
 }
 
 // Server owns the model registry and the scheduler configuration shared by
@@ -90,6 +96,7 @@ type Server struct {
 	mu       sync.RWMutex
 	models   map[string]*Model
 	reserved map[string]bool
+	draining bool
 	closed   bool
 }
 
@@ -172,6 +179,7 @@ func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
 		return nil, err
 	}
 	m := s.newModel(name, tm.Spec, tm.CloneNet())
+	m.net.SetBackend(mc.Backend)
 	m.prec = mc.Prec
 	m.ber = mc.BER
 	if mc.BER > 0 || mc.ForceQuant {
@@ -197,6 +205,16 @@ func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
 	return m, nil
 }
 
+// DeployOption customizes one Deploy registration.
+type DeployOption func(*Model)
+
+// WithBackend serves the deployment on compute backend b instead of the
+// process default. Backends are bit-identical, so this is a per-model
+// throughput knob with no effect on outputs.
+func WithBackend(b compute.Backend) DeployOption {
+	return func(m *Model) { m.net.SetBackend(b) }
+}
+
 // Deploy registers a pipeline-produced deployment artifact: the boosted
 // network is served at the artifact's precision under the error exposure
 // the pipeline characterized — per-data partition BERs when fine-grained
@@ -205,7 +223,7 @@ func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
 // was captured by eden.Deploy, so no dataset or training access happens
 // here; a loaded artifact (eden.LoadDeploymentFile) serves identically to a
 // freshly deployed one.
-func (s *Server) Deploy(dep *eden.Deployment) (*Model, error) {
+func (s *Server) Deploy(dep *eden.Deployment, opts ...DeployOption) (*Model, error) {
 	if dep == nil {
 		return nil, fmt.Errorf("serve: nil deployment")
 	}
@@ -226,6 +244,9 @@ func (s *Server) Deploy(dep *eden.Deployment) (*Model, error) {
 	m.prec = dep.Prec
 	m.ber = dep.ServingBER
 	m.dep = dep
+	for _, opt := range opts {
+		opt(m)
+	}
 	corr := dep.NewCorruptor()
 	// Static weight image at the deployment's operating point(s).
 	corr.CorruptWeights(net)
@@ -254,6 +275,16 @@ func (s *Server) Models() []*Model {
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
+}
+
+// BeginDrain marks the server as draining: /v1/healthz starts answering
+// 503 so load balancers take the instance out of rotation, while Predict
+// keeps serving the requests already routed here. Call Close once the
+// traffic has tailed off.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 }
 
 // Close stops every model's scheduler. In-flight batches finish; queued
@@ -330,6 +361,7 @@ type Info struct {
 	Name        string  `json:"name"`
 	Task        string  `json:"task"`
 	Precision   string  `json:"precision"`
+	Backend     string  `json:"backend"`
 	BER         float64 `json:"ber"`
 	Params      int     `json:"params"`
 	WeightBytes int     `json:"weight_bytes"`
@@ -350,6 +382,7 @@ func (m *Model) Info() Info {
 		Name:        m.name,
 		Task:        task,
 		Precision:   m.prec.String(),
+		Backend:     m.net.Backend().Name(),
 		BER:         m.ber,
 		Params:      m.net.ParamCount(),
 		WeightBytes: m.net.WeightBytes(m.prec),

@@ -1,91 +1,15 @@
 package tensor
 
 import (
-	"fmt"
 	"math"
-
-	"repro/internal/parallel"
 )
 
-// parallelCutoff is the fused-multiply-add count below which a kernel runs
-// on its calling goroutine: tiny shapes lose more to fan-out overhead than
-// they gain from extra workers.
-const parallelCutoff = 1 << 14
-
-// The parallel kernels are bit-identical to their serial references: work
-// is split on indices whose results are computed independently (matrix
-// rows, output elements, output channels, batch samples), every output
-// element sees exactly the serial accumulation order, and no partial-sum
-// reduction ever crosses a goroutine boundary. Tests in ops_parallel_test.go
-// assert exact equality across worker counts.
-
-// MatMul computes C = A (m×k) * B (k×n) into a freshly allocated m×n
-// tensor. Rows of C are computed independently, in parallel for large
-// shapes (row-blocked over the worker pool).
-func MatMul(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic("tensor: MatMul requires rank-2 operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
-	}
-	c := New(m, n)
-	rows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := c.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					crow[j] += av * brow[j]
-				}
-			}
-		}
-	}
-	if m*k*n < parallelCutoff {
-		rows(0, m)
-	} else {
-		parallel.For(m, 1, rows)
-	}
-	return c
-}
-
-// MatMulTransB computes C = A (m×k) * Bᵀ where B is n×k. This is the layout
-// used by fully-connected layers, whose weights are stored out×in. Each
-// output element is an independent dot product, parallelized over the
-// flattened m×n output for large shapes.
-func MatMulTransB(a, b *Tensor) *Tensor {
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d != %d", k, k2))
-	}
-	c := New(m, n)
-	cells := func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			i, j := idx/n, idx%n
-			arow := a.Data[i*k : (i+1)*k]
-			brow := b.Data[j*k : (j+1)*k]
-			var sum float32
-			for p := 0; p < k; p++ {
-				sum += arow[p] * brow[p]
-			}
-			c.Data[idx] = sum
-		}
-	}
-	if m*k*n < parallelCutoff {
-		cells(0, m*n)
-	} else {
-		parallel.For(m*n, 16, cells)
-	}
-	return c
-}
+// The compute kernels the DNN stack bottoms out in — MatMul, MatMulTransB,
+// Conv2D and Conv2DBackward — live behind the Backend interface in
+// internal/compute, so they can be swapped (direct loops vs im2col+GEMM
+// lowering) without touching this package. This file keeps the shape
+// arithmetic the backends share plus the structural ops (pooling,
+// concatenation, softmax) that no backend specializes.
 
 // Conv2DParams describes a 2-D convolution. Stride and padding are applied
 // symmetrically in both spatial dimensions.
@@ -101,231 +25,6 @@ type Conv2DParams struct {
 // kernel extent k, stride s, and padding p.
 func ConvOutDim(in, k, s, p int) int {
 	return (in+2*p-k)/s + 1
-}
-
-// Conv2D convolves input (N,C,H,W) with weights (F,C/groups,KH,KW) and an
-// optional bias of length F, producing (N,F,OH,OW).
-func Conv2D(in, w, bias *Tensor, p Conv2DParams) *Tensor {
-	if p.Stride <= 0 {
-		p.Stride = 1
-	}
-	if p.Groups <= 0 {
-		p.Groups = 1
-	}
-	n, c, h, wd := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	f, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	if c/p.Groups != cg {
-		panic(fmt.Sprintf("tensor: Conv2D channel mismatch in=%d groups=%d wc=%d", c, p.Groups, cg))
-	}
-	oh := ConvOutDim(h, kh, p.Stride, p.Padding)
-	ow := ConvOutDim(wd, kw, p.Stride, p.Padding)
-	out := New(n, f, oh, ow)
-	fPerG := f / p.Groups
-	// One work item per (batch sample, output channel) pair: each writes a
-	// disjoint output plane, so the pairs parallelize with no coordination.
-	plane := func(b, fo int) {
-		g := fo / fPerG
-		var bv float32
-		if bias != nil {
-			bv = bias.Data[fo]
-		}
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				sum := bv
-				iy0 := oy*p.Stride - p.Padding
-				ix0 := ox*p.Stride - p.Padding
-				for ci := 0; ci < cg; ci++ {
-					cin := g*cg + ci
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						inBase := ((b*c+cin)*h + iy) * wd
-						wBase := ((fo*cg+ci)*kh + ky) * kw
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							sum += in.Data[inBase+ix] * w.Data[wBase+kx]
-						}
-					}
-				}
-				out.Data[((b*f+fo)*oh+oy)*ow+ox] = sum
-			}
-		}
-	}
-	if n*f*oh*ow*cg*kh*kw < parallelCutoff {
-		for b := 0; b < n; b++ {
-			for fo := 0; fo < f; fo++ {
-				plane(b, fo)
-			}
-		}
-	} else {
-		parallel.For(n*f, 1, func(lo, hi int) {
-			for idx := lo; idx < hi; idx++ {
-				plane(idx/f, idx%f)
-			}
-		})
-	}
-	return out
-}
-
-// Conv2DBackward computes the gradients of a Conv2D call: dIn (same shape as
-// in), dW (same shape as w), and dBias (length F, nil if bias was nil).
-func Conv2DBackward(in, w *Tensor, hasBias bool, dOut *Tensor, p Conv2DParams) (dIn, dW, dBias *Tensor) {
-	if p.Stride <= 0 {
-		p.Stride = 1
-	}
-	if p.Groups <= 0 {
-		p.Groups = 1
-	}
-	n, c, h, wd := in.shape[0], in.shape[1], in.shape[2], in.shape[3]
-	f, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	oh, ow := dOut.shape[2], dOut.shape[3]
-	dIn = New(n, c, h, wd)
-	dW = New(f, cg, kh, kw)
-	if hasBias {
-		dBias = New(f)
-	}
-	fPerG := f / p.Groups
-	work := n * f * oh * ow * cg * kh * kw
-	if work < parallelCutoff {
-		// Serial reference: one fused sweep accumulating dW, dBias and dIn.
-		for b := 0; b < n; b++ {
-			for g := 0; g < p.Groups; g++ {
-				for fo := g * fPerG; fo < (g+1)*fPerG; fo++ {
-					for oy := 0; oy < oh; oy++ {
-						for ox := 0; ox < ow; ox++ {
-							gv := dOut.Data[((b*f+fo)*oh+oy)*ow+ox]
-							if gv == 0 {
-								continue
-							}
-							if dBias != nil {
-								dBias.Data[fo] += gv
-							}
-							iy0 := oy*p.Stride - p.Padding
-							ix0 := ox*p.Stride - p.Padding
-							for ci := 0; ci < cg; ci++ {
-								cin := g*cg + ci
-								for ky := 0; ky < kh; ky++ {
-									iy := iy0 + ky
-									if iy < 0 || iy >= h {
-										continue
-									}
-									inBase := ((b*c+cin)*h + iy) * wd
-									wBase := ((fo*cg+ci)*kh + ky) * kw
-									for kx := 0; kx < kw; kx++ {
-										ix := ix0 + kx
-										if ix < 0 || ix >= wd {
-											continue
-										}
-										dW.Data[wBase+kx] += gv * in.Data[inBase+ix]
-										dIn.Data[inBase+ix] += gv * w.Data[wBase+kx]
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-		return dIn, dW, dBias
-	}
-	// Parallel path, two sweeps over disjoint write sets. The weight sweep
-	// owns one output channel per work item (dW rows and dBias entries are
-	// indexed by fo); the input sweep owns one batch sample per work item
-	// (dIn planes are indexed by b). Within each owned region the
-	// accumulation visits contributions in exactly the serial loop order —
-	// b-major for a fixed fo, fo-major for a fixed b — so both sweeps
-	// reproduce the serial result bit for bit at any worker count. Partial
-	// sums never cross goroutines: chunk-local dW accumulators would be
-	// cheaper but their reduction order (hence the low-order float bits)
-	// would depend on the worker count, breaking the repository's
-	// determinism contract. The price is traversing the index space twice;
-	// since the sweeps write disjoint tensors they run concurrently, so the
-	// duplicated traversal overlaps instead of serializing.
-	weightSweep := func() {
-		parallel.For(f, 1, func(lo, hi int) {
-			for fo := lo; fo < hi; fo++ {
-				g := fo / fPerG
-				for b := 0; b < n; b++ {
-					for oy := 0; oy < oh; oy++ {
-						for ox := 0; ox < ow; ox++ {
-							gv := dOut.Data[((b*f+fo)*oh+oy)*ow+ox]
-							if gv == 0 {
-								continue
-							}
-							if dBias != nil {
-								dBias.Data[fo] += gv
-							}
-							iy0 := oy*p.Stride - p.Padding
-							ix0 := ox*p.Stride - p.Padding
-							for ci := 0; ci < cg; ci++ {
-								cin := g*cg + ci
-								for ky := 0; ky < kh; ky++ {
-									iy := iy0 + ky
-									if iy < 0 || iy >= h {
-										continue
-									}
-									inBase := ((b*c+cin)*h + iy) * wd
-									wBase := ((fo*cg+ci)*kh + ky) * kw
-									for kx := 0; kx < kw; kx++ {
-										ix := ix0 + kx
-										if ix < 0 || ix >= wd {
-											continue
-										}
-										dW.Data[wBase+kx] += gv * in.Data[inBase+ix]
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		})
-	}
-	inputSweep := func() {
-		parallel.For(n, 1, func(lo, hi int) {
-			for b := lo; b < hi; b++ {
-				for g := 0; g < p.Groups; g++ {
-					for fo := g * fPerG; fo < (g+1)*fPerG; fo++ {
-						for oy := 0; oy < oh; oy++ {
-							for ox := 0; ox < ow; ox++ {
-								gv := dOut.Data[((b*f+fo)*oh+oy)*ow+ox]
-								if gv == 0 {
-									continue
-								}
-								iy0 := oy*p.Stride - p.Padding
-								ix0 := ox*p.Stride - p.Padding
-								for ci := 0; ci < cg; ci++ {
-									cin := g*cg + ci
-									for ky := 0; ky < kh; ky++ {
-										iy := iy0 + ky
-										if iy < 0 || iy >= h {
-											continue
-										}
-										inBase := ((b*c+cin)*h + iy) * wd
-										wBase := ((fo*cg+ci)*kh + ky) * kw
-										for kx := 0; kx < kw; kx++ {
-											ix := ix0 + kx
-											if ix < 0 || ix >= wd {
-												continue
-											}
-											dIn.Data[inBase+ix] += gv * w.Data[wBase+kx]
-										}
-									}
-								}
-							}
-						}
-					}
-				}
-			}
-		})
-	}
-	parallel.Do(weightSweep, inputSweep)
-	return dIn, dW, dBias
 }
 
 // MaxPool2D applies k×k max pooling with the given stride to (N,C,H,W) and

@@ -1,7 +1,10 @@
-// Package tensor provides dense float32 tensors and the numeric kernels
-// (convolution, matrix multiplication, pooling, activations) that the DNN
-// stack in internal/dnn is built on. Tensors are row-major and addressed
-// with NCHW semantics where four dimensions are used.
+// Package tensor provides the dense float32 tensors the DNN stack in
+// internal/dnn is built on, plus the structural ops (pooling,
+// concatenation, softmax) no compute backend specializes. The four
+// compute kernels — convolution and matrix multiplication, forward and
+// backward — live behind the pluggable Backend interface in
+// internal/compute. Tensors are row-major and addressed with NCHW
+// semantics where four dimensions are used.
 package tensor
 
 import (
