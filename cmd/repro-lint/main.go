@@ -1,0 +1,96 @@
+// Command repro-lint is the multichecker for the repository's custom
+// static-analysis suite (internal/lint): five analyzers that enforce the
+// determinism & parallel-safety contract — nomathrand, forwardpurity,
+// noclocktime, maporder and errreturn. It loads the packages matching the
+// given patterns, runs every analyzer, prints one line per finding and
+// exits non-zero when anything fires.
+//
+// Usage:
+//
+//	repro-lint [-analyzers a,b,...] [packages]
+//
+// Patterns default to ./... relative to the current directory. Individual
+// findings can be silenced with a justified directive on or directly
+// above the flagged line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		only = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		selected := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+		var subset []*analysis.Analyzer
+		for _, a := range analyzers {
+			if selected[a.Name] {
+				subset = append(subset, a)
+				delete(selected, a.Name)
+			}
+		}
+		for name := range selected {
+			fmt.Fprintf(os.Stderr, "repro-lint: unknown analyzer %q\n", name)
+			return 2
+		}
+		analyzers = subset
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-lint: %v\n", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(analyzers, pkgs)
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro-lint: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repro-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// TestLoadRepoPackage exercises the go list -export loading path against
+// a real package of this module.
+func TestLoadRepoPackage(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, []string{"repro/internal/tensor"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Name() != "tensor" {
+		t.Errorf("package name = %q, want tensor", pkg.Types.Name())
+	}
+	if len(pkg.Files) == 0 {
+		t.Error("no files loaded")
+	}
+	if pkg.TypesInfo == nil || len(pkg.TypesInfo.Defs) == 0 {
+		t.Error("type information missing")
+	}
+	// RNG must resolve as a named type: proof the package really
+	// type-checked rather than just parsed.
+	if obj := pkg.Types.Scope().Lookup("RNG"); obj == nil {
+		t.Error("tensor.RNG not found in package scope")
+	}
+}
+
+// TestLoadDepImport proves export-data lookup works for intra-module
+// dependencies (dnn imports tensor, compute, parallel, ...).
+func TestLoadDepImport(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, []string{"repro/internal/dnn"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+}

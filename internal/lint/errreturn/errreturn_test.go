@@ -1,0 +1,12 @@
+package errreturn_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/errreturn"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errreturn.Analyzer, "a")
+}

@@ -1,0 +1,40 @@
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func value() (int, error) { return 0, nil }
+
+func pure() int { return 1 }
+
+func discards(w io.Writer) {
+	mayFail()                  // want "error result of mayFail is discarded"
+	value()                    // want "error result of value is discarded"
+	os.Remove("x")             // want "error result of os.Remove is discarded"
+	fmt.Fprintf(w, "to %v", w) // want "error result of fmt.Fprintf is discarded"
+}
+
+func handles(w io.Writer) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()      // explicit discard is visible in the source: allowed
+	defer mayFail()    // close-on-defer idiom: allowed
+	pure()             // no error result
+	fmt.Println("out") // stdout printing: allowed
+	fmt.Fprintf(os.Stderr, "diag\n")
+	var b strings.Builder
+	fmt.Fprintf(&b, "in-memory\n") // strings.Builder never fails
+	b.WriteString("x")
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "in-memory\n")
+	buf.WriteByte('x')
+	return mayFail()
+}

@@ -1,0 +1,12 @@
+package forwardpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/forwardpurity"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), forwardpurity.Analyzer, "dnn", "other")
+}

@@ -1,0 +1,128 @@
+// Package dnn is a fixture modelling the layer stack (the analyzer keys
+// on the package name). BadConv reproduces the exact bug PR 1 removed by
+// hand: Conv cached its input unconditionally, so concurrent
+// inference-mode forwards over a shared network raced on the field.
+package dnn
+
+type Tensor struct{ Data []float32 }
+
+// BadConv is the PR 1 Conv.lastInput bug shape.
+type BadConv struct {
+	lastInput *Tensor
+}
+
+func (l *BadConv) Forward(x *Tensor, train bool) *Tensor {
+	l.lastInput = x // want "Forward writes receiver state on the inference path"
+	return x
+}
+
+// GoodConv caches only on the training path.
+type GoodConv struct {
+	lastInput *Tensor
+}
+
+func (l *GoodConv) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		l.lastInput = x
+	}
+	return x
+}
+
+func (l *GoodConv) Backward(dOut *Tensor) *Tensor {
+	// Backward is not an inference entry point; receiver writes are fine.
+	l.lastInput = nil
+	return dOut
+}
+
+// EarlyReturn uses the guard-by-early-return idiom (Dropout's shape).
+type EarlyReturn struct {
+	mask []bool
+	P    float64
+}
+
+func (l *EarlyReturn) Forward(x *Tensor, train bool) *Tensor {
+	if !train || l.P <= 0 {
+		return x
+	}
+	l.mask = make([]bool, len(x.Data))
+	return x
+}
+
+// DeepWrite mutates receiver-reachable state through a selector chain and
+// a counter — both on the inference path.
+type DeepWrite struct {
+	stats struct{ calls int }
+	cache *Tensor
+}
+
+func (l *DeepWrite) Forward(x *Tensor, train bool) *Tensor {
+	l.stats.calls++ // want "Forward writes receiver state on the inference path"
+	if !train {
+		l.cache.Data[0] = 1 // want "Forward writes receiver state on the inference path"
+	}
+	return x
+}
+
+// ViaHelper hides the write one call down; the fixpoint follows the call
+// tree through same-package receiver methods.
+type ViaHelper struct {
+	last *Tensor
+}
+
+func (l *ViaHelper) stash(x *Tensor) { l.last = x }
+
+func (l *ViaHelper) Forward(x *Tensor, train bool) *Tensor {
+	l.stash(x) // want "Forward calls stash on the inference path"
+	return x
+}
+
+// GuardedHelper makes the same call under the train guard: allowed.
+type GuardedHelper struct {
+	last *Tensor
+}
+
+func (l *GuardedHelper) stash(x *Tensor) { l.last = x }
+
+func (l *GuardedHelper) Forward(x *Tensor, train bool) *Tensor {
+	if train {
+		l.stash(x)
+	}
+	return x
+}
+
+// Batcher has no train parameter, so ForwardBatch is pure-inference and
+// allows no receiver writes at all.
+type Batcher struct {
+	n int
+}
+
+func (l *Batcher) ForwardBatch(xs []*Tensor) []*Tensor {
+	l.n = len(xs) // want "ForwardBatch writes receiver state on the inference path"
+	return xs
+}
+
+// Clean reads receiver state and writes only locals and its argument.
+type Clean struct {
+	Weight *Tensor
+}
+
+func (l *Clean) Forward(x *Tensor, train bool) *Tensor {
+	out := &Tensor{Data: make([]float32, len(x.Data))}
+	for i := range x.Data {
+		out.Data[i] = x.Data[i] * l.Weight.Data[0]
+	}
+	return out
+}
+
+// Composite fans out to children that are not receiver-rooted; calling
+// through range variables is outside the receiver's state.
+type Composite struct {
+	children []*Clean
+}
+
+func (l *Composite) Forward(x *Tensor, train bool) *Tensor {
+	for _, c := range l.children {
+		x = c.Forward(x, train)
+	}
+	return x
+}

@@ -1,0 +1,15 @@
+// Package other proves the analyzer scopes to packages named dnn: the
+// same bug shape elsewhere is out of scope (serve's request structs, for
+// instance, legitimately mutate during handling).
+package other
+
+type Tensor struct{ Data []float32 }
+
+type Conv struct {
+	lastInput *Tensor
+}
+
+func (l *Conv) Forward(x *Tensor, train bool) *Tensor {
+	l.lastInput = x // no diagnostic: not a dnn package
+	return x
+}

@@ -1,0 +1,180 @@
+// Package maporder flags `range` loops over maps whose bodies fold the
+// elements into order-sensitive state. Go randomizes map iteration order,
+// so accumulating floats (where addition does not commute bit-exactly),
+// appending to a slice that is consumed unsorted, or building output
+// strings inside a map range makes results vary run to run — the classic
+// nondeterminism leak in otherwise-seeded code.
+//
+// Two shapes are flagged:
+//
+//   - an augmented assignment (+=, -=, *=, /=) to a variable declared
+//     outside the loop — numeric or string accumulation in map order;
+//   - `s = append(s, ...)` to an outer slice, unless the function
+//     visibly sorts that slice after the loop (the canonical
+//     collect-sort-iterate fix).
+//
+// The fix is always the same: collect the keys, sort them, iterate the
+// sorted slice.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags order-sensitive accumulation inside map ranges.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops that accumulate into outer state without sorting; iterate sorted keys instead",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pass, rng) {
+			return true
+		}
+		checkMapRange(pass, fn, rng)
+		return true
+	})
+}
+
+func rangesOverMap(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			if obj := rootObj(pass, assign.Lhs[0]); obj != nil && declaredOutside(obj, rng.Body) {
+				pass.Reportf(assign.Pos(), "accumulation into %s inside range over map depends on iteration order; iterate sorted keys instead", obj.Name())
+			}
+		case token.ASSIGN:
+			checkAppend(pass, fn, rng, assign)
+		}
+		return true
+	})
+}
+
+// checkAppend handles `s = append(s, ...)` to an outer slice. Collecting
+// elements is the first half of the collect-sort idiom, so the append is
+// allowed when a sort of that slice follows the loop.
+func checkAppend(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fnIdent, ok := call.Fun.(*ast.Ident)
+	if !ok || fnIdent.Name != "append" || pass.TypesInfo.Uses[fnIdent] != types.Universe.Lookup("append") {
+		return
+	}
+	obj := rootObj(pass, assign.Lhs[0])
+	if obj == nil || !declaredOutside(obj, rng.Body) {
+		return
+	}
+	if sortedAfter(pass, fn, rng, obj) {
+		return
+	}
+	pass.Reportf(assign.Pos(), "append to %s inside range over map records elements in iteration order; sort %s after the loop (or collect keys, sort, then iterate)", obj.Name(), obj.Name())
+}
+
+// sortedAfter reports whether a sort.* / slices.Sort* call taking obj as
+// its first argument appears in fn after the range loop.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		if rootObj(pass, call.Args[0]) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rootObj returns the object of the identifier at the root of an lvalue
+// chain (x, x.f, x[i], *x, x.f[i].g → object of x).
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[v]; ok {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside body.
+func declaredOutside(obj types.Object, body *ast.BlockStmt) bool {
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}

@@ -1,0 +1,84 @@
+package a
+
+import "sort"
+
+// sumFloat folds float addition in map order: float addition does not
+// commute bit-exactly, so the result varies run to run.
+func sumFloat(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "accumulation into total inside range over map"
+	}
+	return total
+}
+
+// concat builds output text in map order.
+func concat(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out += v // want "accumulation into out inside range over map"
+	}
+	return out
+}
+
+// collectUnsorted records elements in iteration order and never sorts.
+func collectUnsorted(m map[int]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want "append to vals inside range over map"
+	}
+	return vals
+}
+
+// collectSorted is the canonical fix: collect, sort, then use.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSlice is also fine: sort.Slice after the loop orders the values.
+func sortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// sliceRange is order-stable: ranging over a slice never fires.
+func sliceRange(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// loopLocal accumulates into a variable scoped inside the loop body.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := 0
+		for _, v := range vs {
+			local += v
+		}
+		if local > n {
+			n = local // plain assignment of a max: not an accumulation
+		}
+	}
+	return n
+}
+
+// indexWrite is order-independent: each key writes its own slot.
+func indexWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

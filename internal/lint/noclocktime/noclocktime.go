@@ -1,0 +1,67 @@
+// Package noclocktime forbids reading the wall clock inside the
+// deterministic core. A time.Now (or time.Since) in tensor, compute, dnn,
+// eden, errormodel or quant would let real time leak into numeric
+// results, breaking the bit-identical-at-any-worker-count contract the
+// parallel engine and backend equivalence tests rely on. Timing belongs
+// in the serving/profiling layers and in benchmarks, which are outside
+// the deterministic set.
+package noclocktime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// deterministicPkgs names the packages (by package name) whose outputs
+// must be pure functions of their inputs and seeds. serve, profiling and
+// *_test benchmarks are deliberately absent: measuring latency is their
+// job.
+var deterministicPkgs = map[string]bool{
+	"tensor":     true,
+	"compute":    true,
+	"dnn":        true,
+	"eden":       true,
+	"errormodel": true,
+	"quant":      true,
+}
+
+// Analyzer flags time.Now/time.Since calls in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "noclocktime",
+	Doc:  "forbid time.Now/time.Since in deterministic packages (tensor, compute, dnn, eden, errormodel, quant)",
+	Run:  run,
+}
+
+// forbidden are the time functions that read the wall or monotonic clock.
+var forbidden = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[ident]
+			if !ok {
+				return true
+			}
+			pkgName, ok := obj.(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: wall-clock reads make results time-dependent; move timing to serve/profiling or a benchmark", sel.Sel.Name, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}

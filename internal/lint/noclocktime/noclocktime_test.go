@@ -1,0 +1,12 @@
+package noclocktime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/noclocktime"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noclocktime.Analyzer, "tensor", "serve", "suppress")
+}

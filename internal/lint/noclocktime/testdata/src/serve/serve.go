@@ -1,0 +1,9 @@
+// Package serve is a fixture for the allowlist: serving code measures
+// latency, so wall-clock reads are its job and nothing here fires.
+package serve
+
+import "time"
+
+func latency(start time.Time) time.Duration { return time.Since(start) }
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,16 @@
+// Package tensor exercises the shared //lint:ignore mechanism: a
+// justified directive silences exactly one diagnostic; an adjacent
+// duplicate and a directive missing its reason do not suppress.
+package tensor
+
+import "time"
+
+//lint:ignore noclocktime fixture: this read feeds a display string only
+var suppressed = time.Now()
+var unsuppressedDuplicate = time.Now() // want "time.Now in deterministic package tensor"
+
+//lint:ignore noclocktime
+var malformedDirectiveHasNoReason = time.Now() // want "time.Now in deterministic package tensor"
+
+//lint:ignore nomathrand wrong analyzer name does not suppress
+var wrongAnalyzer = time.Now() // want "time.Now in deterministic package tensor"

@@ -1,0 +1,12 @@
+// Package tensor is a fixture standing in for a deterministic package
+// (the analyzer keys on the package name).
+package tensor
+
+import "time"
+
+func bad() time.Time { return time.Now() } // want "time.Now in deterministic package tensor"
+
+func bad2(t time.Time) time.Duration { return time.Since(t) } // want "time.Since in deterministic package tensor"
+
+// ok: duration arithmetic and constants never read the clock.
+func ok() time.Duration { return 5 * time.Second }

@@ -1,0 +1,35 @@
+// Package nomathrand forbids math/rand and math/rand/v2 everywhere in the
+// repository. Both packages draw from implicit global state (and v2 seeds
+// it from the OS), so any use breaks the invariant that every result is a
+// pure function of explicit seeds. All randomness must flow through
+// tensor.RNG, with RNG.Split/SplitN deriving one independent stream per
+// goroutine before any fan-out.
+package nomathrand
+
+import (
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags imports of math/rand and math/rand/v2.
+var Analyzer = &analysis.Analyzer{
+	Name: "nomathrand",
+	Doc:  "forbid math/rand; all randomness must come from a seeded tensor.RNG (Split/SplitN per goroutine)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden: use a seeded tensor.RNG (Split/SplitN for per-goroutine streams) so results are reproducible", path)
+			}
+		}
+	}
+	return nil
+}

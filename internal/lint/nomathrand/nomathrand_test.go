@@ -1,0 +1,12 @@
+package nomathrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/nomathrand"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nomathrand.Analyzer, "a", "b", "clean")
+}

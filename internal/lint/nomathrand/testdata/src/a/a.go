@@ -1,0 +1,8 @@
+package a
+
+import (
+	"math/rand" // want "import of math/rand is forbidden"
+)
+
+// f draws from the global stream — irreproducible across runs.
+func f() int { return rand.Int() }

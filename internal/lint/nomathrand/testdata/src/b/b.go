@@ -1,0 +1,8 @@
+package b
+
+import (
+	rnd "math/rand/v2" // want "import of math/rand/v2 is forbidden"
+)
+
+// f is OS-seeded in v2 — irreproducible even with renamed imports.
+func f() int { return rnd.Int() }

@@ -1,0 +1,12 @@
+package clean
+
+// RNG mimics the explicit-seed generator the repository mandates; using
+// it does not trip the analyzer.
+type RNG struct{ state uint64 }
+
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+func f(r *RNG) uint64 { return r.Uint64() }
