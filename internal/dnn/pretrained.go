@@ -104,7 +104,7 @@ func Pretrained(name string) (*TrainedModel, error) {
 	path := filepath.Join(cacheDir(), fmt.Sprintf("%s-%d.edenmdl", sanitize(name), m.Net.ParamCount()))
 	if f, err := os.Open(path); err == nil {
 		loadErr := m.Net.Load(f)
-		f.Close()
+		_ = f.Close() // read-only file; Load already validated the bytes
 		if loadErr == nil {
 			m.BaselineAcc = m.Metric(EvalOptions{})
 			pretrainCache[name] = m
@@ -126,11 +126,14 @@ func Pretrained(name string) (*TrainedModel, error) {
 		tmp := path + ".tmp"
 		if f, err := os.Create(tmp); err == nil {
 			saveErr := m.Net.Save(f)
-			f.Close()
-			if saveErr == nil {
-				os.Rename(tmp, path)
+			// A failed Close can mean unflushed bytes: renaming then would
+			// publish a truncated cache entry that poisons the next run.
+			if closeErr := f.Close(); saveErr == nil && closeErr == nil {
+				if os.Rename(tmp, path) != nil {
+					_ = os.Remove(tmp) // best-effort; the cache is optional
+				}
 			} else {
-				os.Remove(tmp)
+				_ = os.Remove(tmp) // best-effort; the cache is optional
 			}
 		}
 	}

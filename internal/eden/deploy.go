@@ -391,12 +391,12 @@ func (d *Deployment) SaveFile(path string) error {
 	}
 	tmp := f.Name()
 	if err := d.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // already failing; Save's error wins
+		_ = os.Remove(tmp) // best-effort cleanup of the temp sibling
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup of the temp sibling
 		return err
 	}
 	return os.Rename(tmp, path)

@@ -36,7 +36,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close() // already failing; the profile never started
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
 	}
