@@ -3,16 +3,18 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint
+.PHONY: build test race bench bench-json lint vuln
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order so order-dependent tests
+# surface instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -short ./internal/tensor/ ./internal/compute/ ./internal/dnn/ ./internal/parallel/ ./internal/eden/ ./internal/serve/
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dnn/ ./internal/serve/
@@ -27,6 +29,21 @@ bench:
 bench-json:
 	$(GO) run ./examples/serving -duration 3s -json BENCH_pr5.json
 
+# lint is the merge gate: formatting, go vet, and the repository's own
+# analyzer suite (internal/lint via cmd/repro-lint) enforcing the
+# determinism & parallel-safety contract. The CI lint job runs exactly
+# this target.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/repro-lint ./...
+
+# vuln scans the module against the Go vulnerability database. Uses an
+# installed govulncheck when present, otherwise fetches it via go run
+# (needs network; CI runs this non-blocking).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...; \
+	fi

@@ -60,4 +60,22 @@
 // and examples/serving load-tests them per backend. A request's output
 // is a pure function of (deployment, input, seed), independent of batch
 // composition, worker count and compute backend.
+//
+// # The determinism contract, enforced
+//
+// The reproducibility discipline above is not a convention but a set of
+// enforced invariants: internal/lint holds a custom static-analysis
+// suite (run by cmd/repro-lint, gating CI via make lint) whose five
+// analyzers each guard one clause. nomathrand forbids math/rand in
+// favour of seeded tensor.RNG streams split per goroutine before
+// fan-out; forwardpurity forbids dnn layers writing receiver state on
+// the inference path of Forward/ForwardBatch, the data-race class that
+// would break shared-network batching; noclocktime keeps wall-clock
+// reads out of the deterministic packages (tensor, compute, dnn, eden,
+// errormodel, quant); maporder rejects order-sensitive accumulation
+// inside map iteration; errreturn rejects silently discarded errors on
+// the artifact and serving paths. Violations that are genuinely benign
+// are silenced line-by-line with a justified
+// //lint:ignore <analyzer> <reason> directive. See README.md ("Static
+// analysis") for the full contract.
 package repro
