@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint vuln
+.PHONY: build test race bench bench-json bench-compare lint vuln
 
 build:
 	$(GO) build ./...
@@ -17,17 +17,26 @@ race:
 	$(GO) test -race -short ./...
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dnn/ ./internal/serve/
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/compute/ ./internal/dnn/ ./internal/serve/
 
 # bench-json runs the end-to-end serving load test (single-request vs
-# micro-batched QPS over HTTP on every compute backend, the
-# deployment-artifact serving path, plus raw per-backend ForwardBatch
-# throughput) and records the measurements for the perf trajectory.
-# BENCH_pr*.json files are committed deliberately as that trajectory's
-# per-PR data points (numbers are host-specific; CI regenerates and
-# prints its own run).
+# continuously-batched QPS over HTTP on every compute backend, the
+# deployment-artifact serving path, raw per-backend ForwardBatch
+# throughput, plus the open-loop shed/goodput phase) and records the
+# measurements for the perf trajectory. BENCH_pr*.json files are committed
+# deliberately as that trajectory's per-PR data points (numbers are
+# host-specific; CI regenerates and prints its own run).
 bench-json:
-	$(GO) run ./examples/serving -duration 3s -json BENCH_pr5.json
+	$(GO) run ./examples/serving -duration 3s -json BENCH_pr7.json
+
+# bench-compare gates the freshly generated benchmark against the previous
+# PR's committed record: any throughput metric more than 10% below the old
+# value (or a determinism_ok flip) exits non-zero. Numbers are
+# host-comparable only when both files come from the same machine, so CI
+# runs this as an advisory (continue-on-error) step after regenerating the
+# new file itself.
+bench-compare:
+	$(GO) run ./cmd/bench-compare -tolerance 0.10 BENCH_pr5.json BENCH_pr7.json
 
 # lint is the merge gate: formatting, go vet, and the repository's own
 # analyzer suite (internal/lint via cmd/repro-lint) enforcing the

@@ -1,0 +1,216 @@
+// Command bench-compare diffs two benchmark measurement files (the
+// BENCH_pr*.json records `make bench-json` writes) and gates on
+// regressions: every numeric key present in both files is tabulated with
+// its relative delta, and a throughput metric (key matching -metrics,
+// default QPS/samples-per-second keys) that dropped by more than
+// -tolerance fails the comparison with a non-zero exit. Derived ratio
+// keys (batch16_speedup, gemm_speedup_*) are tabulated but never gated:
+// a ratio falls whenever its denominator improves more than its
+// numerator, so gating it would double-count the absolute throughputs —
+// which are already gated individually — and flag improvement as
+// regression. A determinism_ok flag that was true in the old record and
+// is false in the new one fails unconditionally — byte-identity is a
+// contract, not a metric.
+//
+//	go run ./cmd/bench-compare -tolerance 0.10 BENCH_pr5.json BENCH_pr7.json
+//
+// Numbers in committed BENCH files are host-specific; the comparison is
+// meaningful between files produced on the same host (as in CI, where the
+// job regenerates the new file and compares against the committed
+// previous one as an advisory gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// defaultMetrics matches the absolute-throughput keys where lower is
+// worse.
+const defaultMetrics = `(^|[._])(qps|sps)([._]|$)|(qps|sps)$|_(qps|sps)`
+
+// defaultRatios matches derived ratio keys (quotients of two gated
+// throughputs, e.g. batch16_speedup, gemm_speedup_qps). They are exempt
+// from gating: a ratio falls whenever its denominator improves faster,
+// so gating it would double-count the absolutes.
+const defaultRatios = `speedup`
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "max tolerated relative drop in a throughput metric (0.10 = 10%)")
+	metrics := flag.String("metrics", defaultMetrics, "regexp selecting the throughput keys the gate applies to")
+	ratios := flag.String("ratios", defaultRatios, "regexp of derived-ratio keys exempt from the gate (tabulated only)")
+	flag.Usage = func() {
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: bench-compare [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*metrics)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: bad -metrics: %v\n", err)
+		os.Exit(2)
+	}
+	ratioRe, err := regexp.Compile(*ratios)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: bad -ratios: %v\n", err)
+		os.Exit(2)
+	}
+	oldRec, err := loadRecord(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	newRec, err := loadRecord(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	rep := compare(oldRec, newRec, *tolerance, re, ratioRe)
+	fmt.Printf("bench-compare: %s -> %s (tolerance %.0f%%)\n\n", flag.Arg(0), flag.Arg(1), *tolerance*100)
+	fmt.Print(rep.Table())
+	if len(rep.Regressions) > 0 {
+		fmt.Printf("\nFAIL: %d regression(s)\n", len(rep.Regressions))
+		for _, r := range rep.Regressions {
+			fmt.Println("  " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no regression beyond tolerance")
+}
+
+// loadRecord reads one benchmark JSON file and flattens it.
+func loadRecord(path string) (map[string]any, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	flat := map[string]any{}
+	flatten("", raw, flat)
+	return flat, nil
+}
+
+// flatten rewrites nested JSON objects as dot-separated leaf keys
+// ("backends.gemm.qps_batch16"), keeping numeric and boolean leaves.
+func flatten(prefix string, v any, out map[string]any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, child, out)
+		}
+	case float64, bool:
+		out[prefix] = t
+	}
+}
+
+// Row is one compared key.
+type Row struct {
+	Key      string
+	Old, New float64
+	// Delta is the relative change (new-old)/old; NaN-free: when old is 0
+	// the row is informational only.
+	Delta   float64
+	Gated   bool // key matches the throughput-metric pattern
+	Regress bool
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	Rows        []Row
+	Regressions []string
+	NewKeys     []string // numeric keys only present in the new record
+}
+
+// compare diffs the shared numeric keys of two flattened records and
+// flags gated metrics that dropped beyond tol. A key matching ratio is
+// never gated even when it also matches metric. Boolean determinism
+// flags regress on any true -> false transition.
+func compare(oldRec, newRec map[string]any, tol float64, metric, ratio *regexp.Regexp) Report {
+	var rep Report
+	keys := make([]string, 0, len(oldRec))
+	for k := range oldRec {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch ov := oldRec[k].(type) {
+		case bool:
+			nv, ok := newRec[k].(bool)
+			if !ok {
+				continue
+			}
+			if ov && !nv {
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("%s flipped true -> false", k))
+			}
+		case float64:
+			nv, ok := newRec[k].(float64)
+			if !ok {
+				continue
+			}
+			row := Row{Key: k, Old: ov, New: nv, Gated: metric.MatchString(k) && !ratio.MatchString(k)}
+			if ov != 0 {
+				row.Delta = (nv - ov) / ov
+			}
+			if row.Gated && ov > 0 && row.Delta < -tol {
+				row.Regress = true
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("%s dropped %.1f%% (%.3g -> %.3g, tolerance %.0f%%)",
+						k, -row.Delta*100, ov, nv, tol*100))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	newKeys := make([]string, 0)
+	for k := range newRec {
+		if _, shared := oldRec[k]; shared {
+			continue
+		}
+		if _, isNum := newRec[k].(float64); isNum {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	rep.NewKeys = newKeys
+	return rep
+}
+
+// Table renders the comparison as an aligned text table.
+func (r Report) Table() string {
+	var b strings.Builder
+	width := len("key")
+	for _, row := range r.Rows {
+		if len(row.Key) > width {
+			width = len(row.Key)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s %14s %14s %9s\n", width, "key", "old", "new", "delta")
+	for _, row := range r.Rows {
+		mark := " "
+		if row.Regress {
+			mark = "!"
+		} else if row.Gated {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-*s %14.4g %14.4g %+8.1f%% %s\n", width, row.Key, row.Old, row.New, row.Delta*100, mark)
+	}
+	if len(r.NewKeys) > 0 {
+		fmt.Fprintf(&b, "new keys (not compared): %s\n", strings.Join(r.NewKeys, ", "))
+	}
+	return b.String()
+}

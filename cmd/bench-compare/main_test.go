@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var (
+	metricRe = regexp.MustCompile(defaultMetrics)
+	ratioRe  = regexp.MustCompile(defaultRatios)
+)
+
+func flat(t *testing.T, js string) map[string]any {
+	t.Helper()
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(js), &raw); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	flatten("", raw, out)
+	return out
+}
+
+const oldBench = `{
+	"qps_single": 200.0,
+	"qps_deploy_batch16": 300.0,
+	"workers": 1,
+	"ber": 0.0001,
+	"determinism_ok": true,
+	"backends": {
+		"gemm": {"qps_batch16": 190.0, "forward_batch_sps": 600.0},
+		"ref":  {"qps_batch16": 100.0, "forward_batch_sps": 250.0}
+	},
+	"gemm_speedup_qps": 1.9
+}`
+
+// TestDetectsInjectedQPSRegression is the gate's reason to exist: a 20%
+// drop injected into a QPS metric must fail a 10%-tolerance comparison.
+func TestDetectsInjectedQPSRegression(t *testing.T) {
+	injected := strings.Replace(oldBench, `"qps_batch16": 190.0`, `"qps_batch16": 152.0`, 1) // gemm -20%
+	rep := compare(flat(t, oldBench), flat(t, injected), 0.10, metricRe, ratioRe)
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions %v, want exactly the injected gemm drop", rep.Regressions)
+	}
+	if !strings.Contains(rep.Regressions[0], "backends.gemm.qps_batch16") {
+		t.Fatalf("regression names %q, want backends.gemm.qps_batch16", rep.Regressions[0])
+	}
+}
+
+// TestToleratesNoiseWithinTolerance: a 5% dip and assorted improvements
+// must pass at 10% tolerance, and non-metric numeric keys (workers, ber)
+// must never gate no matter how much they move.
+func TestToleratesNoiseWithinTolerance(t *testing.T) {
+	newer := strings.NewReplacer(
+		`"qps_single": 200.0`, `"qps_single": 190.0`, // -5%: within tolerance
+		`"qps_batch16": 190.0`, `"qps_batch16": 400.0`, // improvement
+		`"workers": 1`, `"workers": 4`, // config drift, not a metric
+		`"ber": 0.0001`, `"ber": 0.001`, // config drift, not a metric
+	).Replace(oldBench)
+	rep := compare(flat(t, oldBench), flat(t, newer), 0.10, metricRe, ratioRe)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", rep.Regressions)
+	}
+	var rows int
+	for _, row := range rep.Rows {
+		if row.Key == "workers" || row.Key == "ber" {
+			if row.Gated {
+				t.Fatalf("config key %s treated as throughput metric", row.Key)
+			}
+			rows++
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("workers/ber rows missing from table: %+v", rep.Rows)
+	}
+}
+
+// TestSpeedupRatiosNeverGate: a derived ratio key collapsing while the
+// absolute throughputs it divides both improve is not a regression — the
+// absolutes are gated individually; the ratio is informational.
+func TestSpeedupRatiosNeverGate(t *testing.T) {
+	newer := strings.NewReplacer(
+		`"gemm_speedup_qps": 1.9`, `"gemm_speedup_qps": 1.2`, // -37%: ungated
+		`"qps_batch16": 190.0`, `"qps_batch16": 240.0`, // gemm improves…
+		`"qps_batch16": 100.0`, `"qps_batch16": 200.0`, // …ref improves more
+	).Replace(oldBench)
+	rep := compare(flat(t, oldBench), flat(t, newer), 0.10, metricRe, ratioRe)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("ratio drop treated as regression: %v", rep.Regressions)
+	}
+	for _, row := range rep.Rows {
+		if row.Key == "gemm_speedup_qps" && row.Gated {
+			t.Fatal("gemm_speedup_qps matched the throughput-metric pattern")
+		}
+	}
+}
+
+// TestDeterminismFlipFails: determinism_ok true -> false is a hard
+// failure even when every number improved.
+func TestDeterminismFlipFails(t *testing.T) {
+	flipped := strings.Replace(oldBench, `"determinism_ok": true`, `"determinism_ok": false`, 1)
+	rep := compare(flat(t, oldBench), flat(t, flipped), 0.10, metricRe, ratioRe)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "determinism_ok") {
+		t.Fatalf("regressions %v, want determinism_ok flip", rep.Regressions)
+	}
+}
+
+// TestNewKeysAreInformational: keys only in the new record (a grown
+// benchmark) are listed but never gate.
+func TestNewKeysAreInformational(t *testing.T) {
+	grown := strings.Replace(oldBench, `"qps_single": 200.0,`,
+		`"qps_single": 200.0, "open_loop": {"goodput_qps": 400.0, "shed": 120},`, 1)
+	rep := compare(flat(t, oldBench), flat(t, grown), 0.10, metricRe, ratioRe)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", rep.Regressions)
+	}
+	want := map[string]bool{"open_loop.goodput_qps": false, "open_loop.shed": false}
+	for _, k := range rep.NewKeys {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("new key %s not reported (got %v)", k, rep.NewKeys)
+		}
+	}
+}
+
+// TestLoadRecordRoundTrip covers the file-reading path the CI step uses,
+// including zero-valued old metrics not dividing by zero.
+func TestLoadRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(`{"qps_single": 0.0, "x": {"y_qps": 10.0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`{"qps_single": 5.0, "x": {"y_qps": 9.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldRec, err := loadRecord(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRec, err := loadRecord(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := compare(oldRec, newRec, 0.10, metricRe, ratioRe)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", rep.Regressions)
+	}
+	if rep.Table() == "" {
+		t.Fatal("empty table")
+	}
+	if _, err := loadRecord(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -7,12 +7,19 @@
 //   - -models NAME[,NAME]: load zoo models (training on first use, then
 //     cached) and serve each at an explicit raw bit error rate.
 //
-// Either way, predictions go over HTTP/JSON with dynamic micro-batching,
-// on the compute backend selected by -backend (gemm by default; all
-// backends are bit-identical, so the flag tunes throughput only). The
-// daemon exposes GET /v1/healthz for load-balancer probes and drains
-// gracefully on SIGINT/SIGTERM: the probe flips to 503, in-flight
-// requests finish, then the listener closes.
+// Either way, predictions go over HTTP/JSON through a continuous-batching
+// scheduler: the next micro-batch forms while the current one computes, so
+// batch occupancy tracks concurrent load without a fixed collection stall
+// (-max-latency 0, the default, is fully work-conserving; a positive value
+// lets partial batches linger for companions when the compute stage is
+// idle). Admission is bounded by -queue-depth per model: a full queue
+// sheds with 429 plus a Retry-After estimate instead of stacking latency,
+// and requests carrying "deadline_ms" are dropped with 504 if they expire
+// while still queued. Compute runs on the backend selected by -backend
+// (gemm by default; all backends are bit-identical, so the flag tunes
+// throughput only). The daemon exposes GET /v1/healthz for load-balancer
+// probes and drains gracefully on SIGINT/SIGTERM: the probe flips to 503,
+// in-flight requests finish, then the listener closes.
 //
 //	go run ./cmd/eden -model LeNet -o lenet.eden
 //	go run ./cmd/serve -deployment lenet.eden
@@ -53,7 +60,8 @@ func main() {
 	precision := flag.String("precision", "int8", "storage precision for -models: fp32, int16, int8, int4")
 	ber := flag.Float64("ber", 0, "uniform bit error rate for -models (0 = reliable DRAM)")
 	maxBatch := flag.Int("max-batch", 16, "micro-batch size cap")
-	maxLatency := flag.Duration("max-latency", 2*time.Millisecond, "batch-fill deadline")
+	maxLatency := flag.Duration("max-latency", 0, "idle batch-fill window (0 = work-conserving: dispatch the moment compute is free)")
+	queueDepth := flag.Int("queue-depth", 0, "per-model admission queue capacity; full queues shed with 429 (0 = 4x max-batch)")
 	calib := flag.Int("calib", 16, "calibration samples for the bounding-logic plausibility ranges (-models path)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	backendName := flag.String("backend", compute.Default().Name(),
@@ -85,7 +93,7 @@ func main() {
 	if *deployments == "" && *models == "" {
 		*models = "LeNet"
 	}
-	s := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency})
+	s := serve.New(serve.Config{MaxBatch: *maxBatch, MaxLatency: *maxLatency, QueueDepth: *queueDepth})
 	defer s.Close()
 	for _, path := range splitList(*deployments) {
 		dep, err := eden.LoadDeploymentFile(path)
@@ -122,8 +130,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on %s (backend %s, max-batch %d, max-latency %v, workers %d)",
-		*addr, backend.Name(), *maxBatch, *maxLatency, parallel.Workers())
+	log.Printf("serving on %s (backend %s, max-batch %d, max-latency %v, queue-depth %d, workers %d)",
+		*addr, backend.Name(), *maxBatch, *maxLatency, s.Config().QueueDepth, parallel.Workers())
 
 	select {
 	case err := <-errc:

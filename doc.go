@@ -48,18 +48,35 @@
 // internal/serve layers a request/response engine on the inference
 // primitives: a Server registry of deployed models (weights corrupted
 // once at load through the deployment's corruptor, IFMs corrupted per
-// request through seeded eden.ClonePool clones), a dynamic
-// micro-batching scheduler (collect up to MaxBatch requests or
-// MaxLatency, dispatch one ForwardBatch over the pool) and per-model
-// statistics (QPS, p50/p99 latency, batch-size histogram). Server.Deploy
-// registers an artifact (Register remains the raw-BER path), cmd/serve
-// exposes both over HTTP/JSON — including GET /v1/models/{name} for
-// deployment metadata and GET /v1/healthz for load-balancer probes, with
-// graceful drain on SIGINT/SIGTERM (Server.BeginDrain flips the probe to
-// 503 while in-flight traffic completes, then http.Server.Shutdown) —
-// and examples/serving load-tests them per backend. A request's output
-// is a pure function of (deployment, input, seed), independent of batch
-// composition, worker count and compute backend.
+// request through seeded eden.ClonePool clones, pre-warmed to MaxBatch),
+// a continuous-batching scheduler and per-model statistics (QPS, p50/p99
+// latency, batch-size histogram, shed/expired counts). Each model runs a
+// collector/dispatcher goroutine pipeline: the collector forms the next
+// micro-batch from a bounded admission queue while the dispatcher
+// computes the current one, so a dispatch starts the moment compute is
+// free (MaxLatency 0, the work-conserving default) and batch occupancy
+// tracks concurrent load rather than a fixed collection window. On a
+// single worker, multi-request batches dispatch through
+// dnn.ForwardBatchFused — one batched kernel call per layer, each
+// sample's corruption applied in place to its slab of the fused feature
+// map — bit-identical to the per-sample fan-out path that multi-worker
+// pools use.
+// Admission control bounds the damage under overload: a full queue sheds
+// with ErrQueueFull (HTTP 429 plus a Retry-After estimate from queue
+// occupancy x smoothed service time) and requests whose deadline expires
+// while queued are dropped before dispatch with ErrExpired (HTTP 504).
+// Server.Deploy registers an artifact (Register remains the raw-BER
+// path), cmd/serve exposes both over HTTP/JSON — including GET
+// /v1/models/{name} for deployment metadata and GET /v1/healthz for
+// load-balancer probes, with graceful drain on SIGINT/SIGTERM
+// (Server.BeginDrain flips the probe to 503 while in-flight traffic
+// completes, then http.Server.Shutdown) — and examples/serving
+// load-tests them per backend, closed-loop and open-loop (fixed-pace
+// arrivals beyond capacity, exercising the shed path), with
+// cmd/bench-compare gating the recorded BENCH_pr*.json trajectory in CI.
+// A request's output is a pure function of (deployment, input, seed),
+// independent of batching regime, batch composition, queue pressure,
+// worker count and compute backend.
 //
 // # The determinism contract, enforced
 //

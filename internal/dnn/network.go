@@ -108,6 +108,64 @@ func (n *Network) ForwardBatch(xs []*tensor.Tensor, opt BatchOptions) []*tensor.
 	return outs
 }
 
+// ForwardBatchFused runs the whole batch through each layer as a single
+// N-row tensor, so every kernel call amortizes its weight traffic and
+// blocking setup across the batch instead of paying them per sample.
+// Per-sample hooks still see exactly what they see in ForwardBatch: before
+// each layer, sample i's hook is applied to a no-copy (1, ...) view of its
+// slab of the batched feature map, so hook-side quantization ranges, RNG
+// streams and data IDs match the per-sample path bit for bit. Kernels
+// never reduce across the batch dimension, which makes the fused outputs
+// bit-identical to ForwardBatch's — the two are interchangeable, and the
+// serve scheduler picks fused when a batch is worth fusing.
+//
+// Hooks and Done callbacks run on the calling goroutine, samples in
+// ascending order.
+func (n *Network) ForwardBatchFused(xs []*tensor.Tensor, opt BatchOptions) []*tensor.Tensor {
+	b := len(xs)
+	if b == 0 {
+		return nil
+	}
+	per := xs[0].Size()
+	x := tensor.New(append([]int{b}, xs[0].Shape()[1:]...)...)
+	for i, s := range xs {
+		copy(x.Data[i*per:(i+1)*per], s.Data)
+	}
+	var hooks []IFMHook
+	if opt.HookFor != nil {
+		hooks = make([]IFMHook, b)
+		for i := range hooks {
+			hooks[i] = opt.HookFor(i)
+		}
+	}
+	for li, l := range n.Layers {
+		if hooks != nil {
+			span := x.Size() / b
+			dims := append([]int{1}, x.Shape()[1:]...)
+			for i := 0; i < b; i++ {
+				if hooks[i] == nil {
+					continue
+				}
+				view := tensor.FromSlice(x.Data[i*span:(i+1)*span], dims...)
+				if y := hooks[i](li, l, view); y != view {
+					copy(x.Data[i*span:(i+1)*span], y.Data)
+				}
+			}
+		}
+		x = l.Forward(x, false)
+	}
+	outs := make([]*tensor.Tensor, b)
+	span := x.Size() / b
+	dims := append([]int{1}, x.Shape()[1:]...)
+	for i := 0; i < b; i++ {
+		outs[i] = tensor.FromSlice(append([]float32(nil), x.Data[i*span:(i+1)*span]...), dims...)
+		if opt.Done != nil {
+			opt.Done(i)
+		}
+	}
+	return outs
+}
+
 // Backward propagates dOut through all layers, accumulating parameter
 // gradients.
 func (n *Network) Backward(dOut *tensor.Tensor) {

@@ -184,34 +184,59 @@ func (s *SoftwareDRAM) offsetFor(id string, bits int) int {
 
 // corruptTensor pushes one tensor through the modelled approximate DRAM:
 // quantize, inject model errors at the data's BER, correct implausible
-// values, dequantize.
+// values, dequantize into a fresh tensor.
 func (s *SoftwareDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor {
+	return s.corruptTensorInto(t, id, false)
+}
+
+// corruptTensorInto is corruptTensor with a destination choice: with
+// inPlace set the corrupted image is dequantized into t's own storage and
+// t itself is returned, saving an output allocation plus (for slab views of
+// a fused batch tensor) the copy back into the batch. The caller must own
+// t outright — in-place corruption of a reused tensor, like a dataset
+// sample, would compound across passes.
+func (s *SoftwareDRAM) corruptTensorInto(t *tensor.Tensor, id string, inPlace bool) *tensor.Tensor {
+	finish := func(q *quant.QTensor) *tensor.Tensor {
+		if inPlace {
+			q.DequantizeInto(t.Data)
+			return t
+		}
+		return q.Dequantize()
+	}
 	ber := s.berFor(id)
 	if ber <= 0 && !s.ForceQuant {
 		return t
 	}
 	q := quant.Quantize(t, s.Prec)
 	if ber <= 0 {
-		return q.Dequantize()
+		return finish(q)
 	}
 	scaled := s.Model.ScaledTo(ber)
 	inj := errormodel.Injector{Model: scaled}
 	// Keep transient draws aligned with the corruptor's pass counter.
 	inj.SetPass(s.passCount)
 	off := s.offsetFor(id, q.NumBits())
-	// Weak-cell locations depend only on the model's seed and P, not on
-	// the scaled flip rates, so they are computed once per data ID. IFM
-	// tensors shrink on partial batches: the cached (ascending) list is
-	// cut to the current span, and recomputed if the span grew.
-	nbits := q.NumBits()
-	weak, ok := s.weakPos[id]
-	if !ok || s.weakSpan[id] < nbits {
-		weak = inj.WeakPositions(nbits, off)
-		s.weakPos[id] = weak
-		s.weakSpan[id] = nbits
+	if scaled.Kind == errormodel.Model0 && scaled.P >= 1 {
+		// All-weak uniform model (every Uniform(ber) corruptor): the weak
+		// list would enumerate every bit of the tensor, so skip both the
+		// list and the per-cell scan — the injector samples flip positions
+		// directly, at cost proportional to the flips, not the bits.
+		inj.InjectUniform(q, off)
+	} else {
+		// Weak-cell locations depend only on the model's seed and P, not on
+		// the scaled flip rates, so they are computed once per data ID. IFM
+		// tensors shrink on partial batches: the cached (ascending) list is
+		// cut to the current span, and recomputed if the span grew.
+		nbits := q.NumBits()
+		weak, ok := s.weakPos[id]
+		if !ok || s.weakSpan[id] < nbits {
+			weak = inj.WeakPositions(nbits, off)
+			s.weakPos[id] = weak
+			s.weakSpan[id] = nbits
+		}
+		cut := sort.Search(len(weak), func(i int) bool { return int(weak[i]) >= nbits })
+		inj.InjectWeak(q, off, weak[:cut])
 	}
-	cut := sort.Search(len(weak), func(i int) bool { return int(weak[i]) >= nbits })
-	inj.InjectWeak(q, off, weak[:cut])
 	if b, ok := s.Bounds[id]; ok {
 		s.Logic.CorrectQTensor(q, b)
 	} else if s.Policy != memctrl.Off {
@@ -219,7 +244,7 @@ func (s *SoftwareDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor
 		// weight thresholds are computed at training time (§3.2).
 		s.Logic.CorrectQTensor(q, memctrl.FromTensor(t, 1.5))
 	}
-	return q.Dequantize()
+	return finish(q)
 }
 
 // NextPass advances the transient error draw.
@@ -320,6 +345,20 @@ func (p *ClonePool) Get(pass uint64) Cloner {
 	return p.src.CloneCorruptor(pass)
 }
 
+// Prewarm mints n clones into the free list ahead of traffic, so the first
+// n concurrent Gets reuse warmed clones instead of paying CloneCorruptor's
+// map copies on the dispatch path. Serving sizes this to the scheduler's
+// maximum batch at registration time.
+func (p *ClonePool) Prewarm(n int) {
+	clones := make([]Cloner, 0, n)
+	for i := 0; i < n; i++ {
+		clones = append(clones, p.src.CloneCorruptor(0))
+	}
+	p.mu.Lock()
+	p.free = append(p.free, clones...)
+	p.mu.Unlock()
+}
+
 // Put retires a corruptor obtained from Get back into the pool.
 func (p *ClonePool) Put(c Cloner) {
 	if c == nil {
@@ -361,6 +400,20 @@ func (s *SoftwareDRAM) CorruptWeights(net *dnn.Network) (restore func()) {
 func (s *SoftwareDRAM) IFMHook() dnn.IFMHook {
 	return func(i int, l dnn.Layer, x *tensor.Tensor) *tensor.Tensor {
 		return s.corruptTensor(x, IFMID(l.Name()))
+	}
+}
+
+// IFMHookInPlace is IFMHook with the corrupted image written back into the
+// hook's input tensor, which is also returned. Byte-identical to IFMHook —
+// only the destination storage differs — but safe only when the caller
+// owns every tensor fed to the hook: the fused batch scheduler does (the
+// hook sees slab views of its private batch tensor, and returning the view
+// unchanged is what lets dnn.ForwardBatchFused skip the slab copy-back),
+// while dataset evaluation paths must keep using IFMHook so reused input
+// samples are never mutated.
+func (s *SoftwareDRAM) IFMHookInPlace() dnn.IFMHook {
+	return func(i int, l dnn.Layer, x *tensor.Tensor) *tensor.Tensor {
+		return s.corruptTensorInto(x, IFMID(l.Name()), true)
 	}
 }
 

@@ -1,0 +1,61 @@
+package eden_test
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/eden"
+	"repro/internal/errormodel"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// TestForwardBatchFusedBitIdentical pins the contract the serve scheduler
+// relies on when it picks the fused dispatch path: running a batch as one
+// N-row tensor through each layer, with every sample's corruption hook
+// applied to a slab view of the batched feature map, produces outputs
+// bit-identical to the per-sample ForwardBatch path. The hooks quantize
+// per sample (slab views keep each sample's quantization range private)
+// and draw from per-seed clone RNG streams, so any fused-path deviation —
+// shared quantization scale, cross-sample reduction in a kernel, slab
+// misalignment — shows up as a bit difference here.
+func TestForwardBatchFusedBitIdentical(t *testing.T) {
+	tm := dnn.MustPretrained("LeNet")
+	rng := tensor.NewRNG(7)
+	const B = 5 // odd size: last batch row exercises slab-offset math
+	xs := make([]*tensor.Tensor, B)
+	for i := range xs {
+		xs[i] = tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+		xs[i].FillUniform(rng, -1, 1)
+	}
+	corr := eden.NewSoftwareDRAM(errormodel.Uniform(1e-3), quant.Int8)
+	pool := eden.NewClonePool(corr)
+	pool.Prewarm(B)
+	mkOpt := func() dnn.BatchOptions {
+		clones := make([]eden.Cloner, B)
+		return dnn.BatchOptions{
+			HookFor: func(i int) dnn.IFMHook {
+				c := pool.Get(uint64(1000 + i))
+				clones[i] = c
+				return c.IFMHook()
+			},
+			Done: func(i int) { pool.Put(clones[i]) },
+		}
+	}
+	perSample := tm.Net.ForwardBatch(xs, mkOpt())
+	fused := tm.Net.ForwardBatchFused(xs, mkOpt())
+	if len(fused) != len(perSample) {
+		t.Fatalf("fused returned %d outputs, want %d", len(fused), len(perSample))
+	}
+	for i := range perSample {
+		a, b := perSample[i].Data, fused[i].Data
+		if len(a) != len(b) {
+			t.Fatalf("sample %d: output size %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("sample %d elem %d: per-sample %v, fused %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package errormodel
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/quant"
 )
@@ -261,15 +262,34 @@ func (in *Injector) WeakPositions(nBits, baseBit int) []int32 {
 
 // InjectWeak flips bits of q using a precomputed weak-position list from
 // WeakPositions with the same baseBit. It is the fast path of Inject.
+//
+// Model 0 takes a geometric-skip shortcut: its flip rate is one constant for
+// every weak cell regardless of position or stored value, so instead of
+// drawing one hash per weak cell the injector samples the gaps between flips
+// from the matching geometric distribution and touches only the cells that
+// actually flip — O(flips) instead of O(weak cells). The flip pattern is an
+// exact Bernoulli(FA) process over the weak list, deterministically seeded
+// by (model seed, baseBit, pass), which is what the Corruptor determinism
+// contract requires; the draws differ from the per-cell path, so the two
+// strategies are statistically interchangeable but not bit-for-bit equal.
 func (in *Injector) InjectWeak(q *quant.QTensor, baseBit int, weak []int32) int {
 	bits := q.Prec.Bits()
 	m := in.Model
+	if m.Kind == Model0 {
+		return in.geomFlips(len(weak), m.FA, baseBit, func(j int) {
+			rel := int(weak[j])
+			q.FlipBit(rel/bits, rel%bits)
+		})
+	}
 	flips := 0
+	model3 := m.Kind == Model3
 	for _, rel := range weak {
 		i := int(rel) / bits
 		k := int(rel) % bits
 		pos := baseBit + int(rel)
-		stored := q.Bit(i, k)
+		// Only the data-dependent model reads the stored bit; skipping the
+		// packed-bit extraction for Models 1/2 leaves their draws untouched.
+		stored := model3 && q.Bit(i, k)
 		p := m.flipRate(pos/m.RowBits, pos%m.RowBits, stored)
 		if p <= 0 {
 			continue
@@ -281,4 +301,65 @@ func (in *Injector) InjectWeak(q *quant.QTensor, baseBit int, weak []int32) int 
 		}
 	}
 	return flips
+}
+
+// InjectUniform flips bits of q as if every cell in its nBits-bit span were
+// weak with flip rate p — the Model-0 case with P = 1, which is what raw-BER
+// serving and every Uniform(ber) corruptor run. It skips materializing the
+// weak-position list entirely (for an all-weak span that list is just
+// 0..nBits-1) and walks the span by geometric gaps, so cost scales with the
+// expected flip count, not the tensor size.
+func (in *Injector) InjectUniform(q *quant.QTensor, baseBit int) int {
+	bits := q.Prec.Bits()
+	return in.geomFlips(q.NumBits(), in.Model.FA, baseBit, func(rel int) {
+		q.FlipBit(rel/bits, rel%bits)
+	})
+}
+
+// geomFlips visits each of n virtual cells with probability p by sampling
+// inter-flip gaps from Geometric(p): P(gap ≥ k) = (1-p)^k, so the resulting
+// flip set is an exact iid Bernoulli(p) draw over the n cells. The gap
+// stream is a pure function of (model seed, baseBit, pass, draw index),
+// giving the same determinism guarantees as the per-cell hash.
+func (in *Injector) geomFlips(n int, p float64, baseBit int, flip func(idx int)) int {
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			flip(i)
+		}
+		return n
+	}
+	// Fold baseBit through the finalizer so tensors at different offsets
+	// draw from disjoint streams even when their draw indices coincide.
+	seed := in.Model.Seed ^ 0x47454F4D ^ splitmix(uint64(baseBit))
+	lnq := math.Log1p(-p)
+	flips, idx := 0, 0
+	for t := uint64(0); ; t++ {
+		u := uniformHash(seed, in.pass, t)
+		// U = 1-u ∈ (0,1]; gap = floor(ln U / ln(1-p)) is Geometric(p).
+		gap := math.Log1p(-u) / lnq
+		if gap >= float64(n-idx) {
+			return flips
+		}
+		idx += int(gap)
+		flip(idx)
+		flips++
+		idx++
+		if idx >= n {
+			return flips
+		}
+	}
+}
+
+// splitmix is the SplitMix64 finalizer, used to decorrelate structured
+// integer inputs before they enter uniformHash.
+func splitmix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }

@@ -124,6 +124,26 @@ func (q *QTensor) Dequantize() *tensor.Tensor {
 	return out
 }
 
+// DequantizeInto decodes into dst, which must hold exactly Size() values.
+// It is Dequantize without the allocation, for callers that already own the
+// destination storage (e.g. corrupting a sample's slab of a fused batch
+// tensor in place).
+func (q *QTensor) DequantizeInto(dst []float32) {
+	if len(dst) != len(q.Codes) {
+		panic(fmt.Sprintf("quant: DequantizeInto dst holds %d values, want %d", len(dst), len(q.Codes)))
+	}
+	if q.Prec == FP32 {
+		for i, c := range q.Codes {
+			dst[i] = math.Float32frombits(c)
+		}
+		return
+	}
+	b := q.Prec.Bits()
+	for i, c := range q.Codes {
+		dst[i] = float32(signExtend(c, b)) * q.Scale
+	}
+}
+
 // signExtend interprets the low b bits of c as a two's-complement integer.
 func signExtend(c uint32, b int) int32 {
 	shift := 32 - b

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // PredictRequest is the JSON body of POST /v1/models/{name}/predict.
@@ -12,6 +15,10 @@ type PredictRequest struct {
 	Input []float32 `json:"input"`
 	// Seed selects the request's deterministic error stream.
 	Seed uint64 `json:"seed"`
+	// DeadlineMs optionally bounds how long the caller will wait. A
+	// request still queued past its deadline is dropped before dispatch
+	// (504) instead of consuming compute.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // PredictResponse is the JSON reply.
@@ -100,8 +107,28 @@ func NewHandler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
-		res, err := m.Predict(r.Context(), req.Input, req.Seed)
+		ctx := r.Context()
+		if req.DeadlineMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := m.Predict(ctx, req.Input, req.Seed)
 		switch {
+		case errors.Is(err, ErrQueueFull):
+			// Structured shed: tell the client when capacity is likely
+			// back, from queue occupancy × smoothed service time.
+			ra := m.RetryAfter()
+			secs := int64((ra + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":         err.Error(),
+				"retry_after_s": secs,
+			})
+			return
+		case errors.Is(err, ErrExpired), errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+			return
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 			return

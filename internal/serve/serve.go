@@ -1,9 +1,23 @@
 // Package serve turns the repository's inference primitives into a
 // request/response serving engine: a Server owns a registry of loaded
 // models, each paired with a pre-calibrated approximate-DRAM corruptor,
-// and a dynamic micro-batching scheduler per model that collects incoming
-// requests up to MaxBatch or MaxLatency and dispatches them as one
-// dnn.ForwardBatch over the shared parallel.Pool.
+// and a continuous-batching scheduler per model.
+//
+// The scheduler is a two-stage pipeline. A collector goroutine admits
+// requests from the model's bounded queue and forms the next micro-batch
+// *while the current one is computing*; a dispatcher goroutine runs each
+// formed batch as one dnn.ForwardBatch over the shared parallel.Pool. The
+// hand-off between them is unbuffered, so the moment a dispatch returns the
+// next batch — grown concurrently up to MaxBatch — starts immediately and
+// the worker pool never idles between dispatches collecting stragglers.
+//
+// Admission control keeps the pipeline healthy under overload: the
+// per-model queue is bounded (QueueDepth) and a full queue sheds the
+// request with ErrQueueFull — surfaced over HTTP as 429 plus a Retry-After
+// estimate — instead of blocking callers into memory exhaustion. Requests
+// may carry deadlines; the collector drops expired requests (ErrExpired)
+// before dispatch rather than spending compute on answers nobody is
+// waiting for. Shed and expiry counts are tracked per model in Stats.
 //
 // The primary registration path is Server.Deploy, which consumes the
 // eden.Deployment artifact the pipeline produces (boosted network, fitted
@@ -14,10 +28,11 @@
 //
 // Determinism is preserved end to end: every request carries a seed, the
 // scheduler draws a per-request corruptor clone from an eden.ClonePool
-// reset to that seed, and ForwardBatch is bit-identical to serial
-// per-sample forwards — so a request's output is a pure function of
-// (deployment, input, seed), independent of batch composition, worker
-// count and scheduling.
+// (pre-warmed to MaxBatch clones at registration) reset to that seed, and
+// ForwardBatch is bit-identical to serial per-sample forwards — so a
+// request's output is a pure function of (deployment, input, seed),
+// independent of batch composition, queue pressure, worker count and
+// scheduling.
 package serve
 
 import (
@@ -32,6 +47,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/eden"
 	"repro/internal/errormodel"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -39,17 +55,31 @@ import (
 // ErrClosed is returned for requests that race with Server.Close.
 var ErrClosed = errors.New("serve: server closed")
 
-// Config controls the micro-batching scheduler.
+// ErrQueueFull is returned when a request arrives while the model's
+// admission queue is at capacity. The request was not enqueued; the caller
+// should back off (HTTP surfaces this as 429 with a Retry-After estimate).
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrExpired is returned when a request's deadline passed while it was
+// still queued; the scheduler drops such requests before dispatch instead
+// of computing answers nobody is waiting for.
+var ErrExpired = errors.New("serve: deadline expired in queue")
+
+// Config controls the continuous-batching scheduler.
 type Config struct {
 	// MaxBatch is the largest batch one dispatch may carry (default 16).
 	// 1 disables batching: every request dispatches immediately.
 	MaxBatch int
-	// MaxLatency bounds how long the scheduler waits for a batch to fill
-	// after the first request arrives (default 2ms). The deadline trades
-	// tail latency for batch occupancy.
+	// MaxLatency optionally bounds how long a partial batch waits for
+	// companions while the dispatcher is idle. The default 0 is
+	// work-conserving: a batch dispatches the moment the compute stage is
+	// free, and grows only with the requests that arrive while the
+	// previous batch is computing. A positive window trades first-request
+	// latency for batch occupancy at low offered load.
 	MaxLatency time.Duration
-	// QueueDepth is the per-model request queue capacity (default
-	// 4×MaxBatch). A full queue applies backpressure on Predict.
+	// QueueDepth is the per-model admission queue capacity (default
+	// 4×MaxBatch). A full queue sheds new requests with ErrQueueFull
+	// rather than blocking callers.
 	QueueDepth int
 }
 
@@ -57,8 +87,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 16
 	}
-	if c.MaxLatency <= 0 {
-		c.MaxLatency = 2 * time.Millisecond
+	if c.MaxLatency < 0 {
+		c.MaxLatency = 0
 	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 4 * c.MaxBatch
@@ -142,7 +172,8 @@ func (s *Server) commit(m *Model) error {
 	}
 	s.models[m.name] = m
 	s.mu.Unlock()
-	go m.loop()
+	go m.collect()
+	go m.run()
 	return nil
 }
 
@@ -156,6 +187,7 @@ func (s *Server) newModel(name string, spec dnn.ModelSpec, net *dnn.Network) *Mo
 		net:      net,
 		inputLen: net.InC * net.InH * net.InW,
 		queue:    make(chan *pending, s.cfg.QueueDepth),
+		batches:  make(chan []*pending),
 		quit:     make(chan struct{}),
 		stats:    newStats(s.cfg.MaxBatch),
 	}
@@ -198,6 +230,8 @@ func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
 		// Static weight image: corrupt once, keep (no restore).
 		corr.CorruptWeights(m.net)
 		m.pool = eden.NewClonePool(corr)
+		// Pay the clone allocations now, not on the first full batch.
+		m.pool.Prewarm(s.cfg.MaxBatch)
 	}
 	if err := s.commit(m); err != nil {
 		return nil, err
@@ -251,6 +285,8 @@ func (s *Server) Deploy(dep *eden.Deployment, opts ...DeployOption) (*Model, err
 	// Static weight image at the deployment's operating point(s).
 	corr.CorruptWeights(net)
 	m.pool = eden.NewClonePool(corr)
+	// Pay the clone allocations now, not on the first full batch.
+	m.pool.Prewarm(s.cfg.MaxBatch)
 	if err := s.commit(m); err != nil {
 		return nil, err
 	}
@@ -308,9 +344,10 @@ func (s *Server) Close() {
 }
 
 // Model is one deployed DNN: a weight-corrupted network, its corruptor
-// clone pool, its request queue and its scheduler. dep is non-nil for
-// models registered through Server.Deploy and carries the pipeline
-// metadata the detail endpoint reports.
+// clone pool, its admission queue and its two scheduler goroutines (the
+// collector forming batches, the dispatcher computing them). dep is
+// non-nil for models registered through Server.Deploy and carries the
+// pipeline metadata the detail endpoint reports.
 type Model struct {
 	name     string
 	cfg      Config
@@ -321,7 +358,8 @@ type Model struct {
 	inputLen int
 	pool     *eden.ClonePool
 	dep      *eden.Deployment
-	queue    chan *pending
+	queue    chan *pending   // bounded admission queue, fed by Predict
+	batches  chan []*pending // unbuffered collector→dispatcher hand-off
 	quit     chan struct{}
 	stats    *Stats
 }
@@ -345,17 +383,48 @@ type outcome struct {
 }
 
 type pending struct {
-	x    *tensor.Tensor
-	seed uint64
-	enq  time.Time
-	out  chan outcome
+	x        *tensor.Tensor
+	seed     uint64
+	enq      time.Time
+	deadline time.Time // zero = no deadline
+	out      chan outcome
+}
+
+// expired reports whether the request's deadline has passed at now.
+func (p *pending) expired(now time.Time) bool {
+	return !p.deadline.IsZero() && now.After(p.deadline)
 }
 
 // Name returns the model's registered name.
 func (m *Model) Name() string { return m.name }
 
-// Stats returns the model's serving statistics.
-func (m *Model) Stats() Snapshot { return m.stats.Snapshot() }
+// Stats returns the model's serving statistics, including the admission
+// queue's instantaneous occupancy.
+func (m *Model) Stats() Snapshot {
+	snap := m.stats.Snapshot()
+	snap.QueueDepth = len(m.queue)
+	snap.QueueCap = cap(m.queue)
+	return snap
+}
+
+// RetryAfter estimates how long a shed caller should wait before retrying:
+// the work already admitted (queue plus up to one in-flight batch) times
+// the smoothed per-request service time, clamped to [1s, 60s]. HTTP 429
+// responses carry it as the Retry-After header.
+func (m *Model) RetryAfter() time.Duration {
+	est := m.stats.serviceEstimate()
+	if est <= 0 {
+		return time.Second
+	}
+	d := time.Duration(len(m.queue)+m.cfg.MaxBatch) * est
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
 
 // Info describes a deployed model for the listing API.
 type Info struct {
@@ -459,22 +528,31 @@ func (m *Model) Detail() ModelDetail {
 	return d
 }
 
-// Predict enqueues one request and blocks until its micro-batch is served.
+// Predict admits one request and blocks until its micro-batch is served.
 // input must hold InC×InH×InW values; seed selects the request's
 // deterministic transient-error stream (ignored when the model serves from
-// reliable DRAM).
+// reliable DRAM). Admission is non-blocking: a full queue sheds the
+// request with ErrQueueFull immediately instead of stalling the caller. A
+// context deadline travels with the request; if it passes while the
+// request is still queued, the collector drops it with ErrExpired before
+// dispatch.
 func (m *Model) Predict(ctx context.Context, input []float32, seed uint64) (Result, error) {
 	if len(input) != m.inputLen {
 		return Result{}, fmt.Errorf("serve: input length %d, want %d", len(input), m.inputLen)
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	x := tensor.FromSlice(append([]float32(nil), input...), 1, m.net.InC, m.net.InH, m.net.InW)
-	p := &pending{x: x, seed: seed, enq: time.Now(), out: make(chan outcome, 1)}
+	deadline, _ := ctx.Deadline()
+	p := &pending{x: x, seed: seed, enq: time.Now(), deadline: deadline, out: make(chan outcome, 1)}
 	select {
 	case m.queue <- p:
 	case <-m.quit:
 		return Result{}, ErrClosed
-	case <-ctx.Done():
-		return Result{}, ctx.Err()
+	default:
+		m.stats.recordShed()
+		return Result{}, ErrQueueFull
 	}
 	select {
 	case o := <-p.out:
@@ -493,8 +571,16 @@ func (m *Model) Predict(ctx context.Context, input []float32, seed uint64) (Resu
 	}
 }
 
-// loop is the per-model scheduler: collect a batch, dispatch, repeat.
-func (m *Model) loop() {
+// collect is the admission half of the scheduler. It forms the next
+// micro-batch while the dispatcher computes the current one: the offer
+// loop simultaneously waits for the dispatcher to take the batch and keeps
+// admitting arrivals into it (up to MaxBatch), so batch occupancy tracks
+// the queue pressure during the previous dispatch instead of a fixed
+// collection window. Expired requests are swept out before every hand-off
+// attempt. On quit it fails everything it holds and closes the hand-off
+// channel, which stops the dispatcher after its in-flight batch.
+func (m *Model) collect() {
+	defer close(m.batches)
 	for {
 		var first *pending
 		select {
@@ -504,26 +590,139 @@ func (m *Model) loop() {
 			return
 		}
 		batch := append(make([]*pending, 0, m.cfg.MaxBatch), first)
-		if m.cfg.MaxBatch > 1 {
+		// Optional fill window: with MaxLatency > 0 a partial batch
+		// lingers for companions before it is offered at all. The
+		// work-conserving default (0) skips straight to the offer loop.
+		if m.cfg.MaxLatency > 0 && m.cfg.MaxBatch > 1 {
 			timer := time.NewTimer(m.cfg.MaxLatency)
-		collect:
+		fill:
 			for len(batch) < m.cfg.MaxBatch {
 				select {
 				case p := <-m.queue:
 					batch = append(batch, p)
 				case <-timer.C:
-					break collect
+					break fill
 				case <-m.quit:
-					break collect
+					timer.Stop()
+					m.fail(batch)
+					m.drain()
+					return
 				}
 			}
 			timer.Stop()
 		}
+		for batch != nil {
+			// Greedily absorb everything already queued before offering:
+			// the select below admits one arrival per hand-off attempt and
+			// picks randomly among ready cases, so with a dispatcher
+			// already waiting it would take the batch half the time and
+			// occupancy would collapse toward one while the queue sat
+			// full. Draining first makes the dispatched batch carry
+			// min(queued, MaxBatch) requests.
+		drain:
+			for len(batch) < m.cfg.MaxBatch {
+				select {
+				case p := <-m.queue:
+					batch = append(batch, p)
+				default:
+					break drain
+				}
+			}
+			batch = m.sweepExpired(batch)
+			if len(batch) == 0 {
+				batch = nil // everything expired; collect anew
+				break
+			}
+			// Arm a timer at the earliest member deadline so a stalled
+			// hand-off (dispatcher busy, no arrivals) still re-sweeps the
+			// moment a queued request expires.
+			var expiry <-chan time.Time
+			var timer *time.Timer
+			if t := earliestDeadline(batch); !t.IsZero() {
+				timer = time.NewTimer(time.Until(t))
+				expiry = timer.C
+			}
+			var arrivals chan *pending
+			if len(batch) < m.cfg.MaxBatch {
+				arrivals = m.queue
+			}
+			select {
+			case p := <-arrivals:
+				batch = append(batch, p)
+			case m.batches <- batch:
+				batch = nil
+			case <-expiry:
+				// Re-sweep on the next iteration.
+			case <-m.quit:
+				if timer != nil {
+					timer.Stop()
+				}
+				m.fail(batch)
+				m.drain()
+				return
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+	}
+}
+
+// run is the compute half of the scheduler: it dispatches formed batches
+// until the collector closes the hand-off channel at shutdown.
+func (m *Model) run() {
+	for batch := range m.batches {
 		m.dispatch(batch)
 	}
 }
 
-// drain fails everything still queued when the scheduler exits.
+// sweepExpired fails every batch member whose deadline has passed and
+// returns the survivors. It touches the clock only when some member
+// actually carries a deadline.
+func (m *Model) sweepExpired(batch []*pending) []*pending {
+	dated := false
+	for _, p := range batch {
+		if !p.deadline.IsZero() {
+			dated = true
+			break
+		}
+	}
+	if !dated {
+		return batch
+	}
+	now := time.Now()
+	kept := batch[:0]
+	for _, p := range batch {
+		if p.expired(now) {
+			m.stats.recordExpired()
+			p.out <- outcome{err: ErrExpired}
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// earliestDeadline returns the soonest member deadline, or zero if no
+// member carries one.
+func earliestDeadline(batch []*pending) time.Time {
+	var t time.Time
+	for _, p := range batch {
+		if !p.deadline.IsZero() && (t.IsZero() || p.deadline.Before(t)) {
+			t = p.deadline
+		}
+	}
+	return t
+}
+
+// fail rejects a formed batch at shutdown.
+func (m *Model) fail(batch []*pending) {
+	for _, p := range batch {
+		p.out <- outcome{err: ErrClosed}
+	}
+}
+
+// drain fails everything still queued when the collector exits.
 func (m *Model) drain() {
 	for {
 		select {
@@ -535,16 +734,24 @@ func (m *Model) drain() {
 	}
 }
 
-// dispatch runs one micro-batch through ForwardBatch. Sample i's IFM hook
+// dispatch runs one micro-batch through the network. Sample i's IFM hook
 // is a pool clone reset to request i's seed, recycled as soon as that
 // sample's forward completes (BatchOptions.Done), so the pool's steady
 // state holds about one clone per worker regardless of batch size.
+//
+// Multi-request batches on a single worker take the fused path — one
+// batched kernel call per layer, amortizing weight traffic across the
+// batch — while multiple workers fan samples out across the pool instead,
+// where the coarser per-sample parallelism wins. The two are bit-identical
+// (pinned by TestContinuousSchedulerDeterminism), so the choice is purely
+// a throughput heuristic.
 func (m *Model) dispatch(batch []*pending) {
 	start := time.Now()
 	xs := make([]*tensor.Tensor, len(batch))
 	for i, p := range batch {
 		xs[i] = p.x
 	}
+	fused := len(batch) > 1 && parallel.Workers() == 1
 	opt := dnn.BatchOptions{}
 	var clones []eden.Cloner
 	if m.pool != nil {
@@ -552,6 +759,15 @@ func (m *Model) dispatch(batch []*pending) {
 		opt.HookFor = func(i int) dnn.IFMHook {
 			c := m.pool.Get(batch[i].seed)
 			clones[i] = c
+			// The fused pass owns its batch tensor, so a clone that can
+			// corrupt slab views in place (skipping the per-layer copy
+			// back into the batch) is preferred there. Byte-identical
+			// either way.
+			if fused {
+				if ip, ok := c.(interface{ IFMHookInPlace() dnn.IFMHook }); ok {
+					return ip.IFMHookInPlace()
+				}
+			}
 			return c.IFMHook()
 		}
 		opt.Done = func(i int) {
@@ -561,7 +777,12 @@ func (m *Model) dispatch(batch []*pending) {
 			}
 		}
 	}
-	outs := m.net.ForwardBatch(xs, opt)
+	var outs []*tensor.Tensor
+	if fused {
+		outs = m.net.ForwardBatchFused(xs, opt)
+	} else {
+		outs = m.net.ForwardBatch(xs, opt)
+	}
 	end := time.Now()
 	lats := make([]time.Duration, len(batch))
 	for i, p := range batch {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -59,7 +60,17 @@ func predictAll(t *testing.T, m *Model, inputs [][]float32, concurrent bool) [][
 		wg.Add(1)
 		go func(i int, in []float32) {
 			defer wg.Done()
-			res, err := m.Predict(context.Background(), in, 1000+uint64(i))
+			// A full admission queue sheds instead of blocking; behave
+			// like a well-mannered client and retry after a beat.
+			var res Result
+			var err error
+			for {
+				res, err = m.Predict(context.Background(), in, 1000+uint64(i))
+				if !errors.Is(err, ErrQueueFull) {
+					break
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
 			if err != nil {
 				errs[i] = err
 				return

@@ -20,8 +20,11 @@ type Stats struct {
 	last     time.Time // most recent dispatch end
 	requests uint64
 	batches  uint64
+	shed     uint64 // admissions refused on a full queue
+	expired  uint64 // queued requests dropped past their deadline
 	busy     time.Duration
-	hist     []uint64 // hist[k] = batches of size k; index 0 unused
+	svc      time.Duration // EWMA of per-request service time
+	hist     []uint64      // hist[k] = batches of size k; index 0 unused
 	lat      [latRing]time.Duration
 	idx      int
 	filled   int
@@ -44,6 +47,16 @@ func (s *Stats) record(batchSize int, busy time.Duration, lats []time.Duration) 
 	s.batches++
 	s.requests += uint64(batchSize)
 	s.busy += busy
+	if batchSize > 0 {
+		// Smoothed per-request service time feeds the Retry-After
+		// estimate handed to shed callers (EWMA, α = 1/8).
+		perReq := busy / time.Duration(batchSize)
+		if s.svc == 0 {
+			s.svc = perReq
+		} else {
+			s.svc += (perReq - s.svc) / 8
+		}
+	}
 	if batchSize < len(s.hist) {
 		s.hist[batchSize]++
 	} else {
@@ -60,10 +73,37 @@ func (s *Stats) record(batchSize int, busy time.Duration, lats []time.Duration) 
 	}
 }
 
+// recordShed counts one admission refused on a full queue.
+func (s *Stats) recordShed() {
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+}
+
+// recordExpired counts one queued request dropped past its deadline.
+func (s *Stats) recordExpired() {
+	s.mu.Lock()
+	s.expired++
+	s.mu.Unlock()
+}
+
+// serviceEstimate returns the smoothed per-request service time, or 0
+// before the first dispatch.
+func (s *Stats) serviceEstimate() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc
+}
+
 // Snapshot is a consistent copy of the statistics for reporting.
 type Snapshot struct {
-	Requests  uint64  `json:"requests"`
-	Batches   uint64  `json:"batches"`
+	Requests uint64 `json:"requests"`
+	Batches  uint64 `json:"batches"`
+	// Shed counts admissions refused on a full queue (HTTP 429s); Expired
+	// counts queued requests dropped past their deadline before dispatch.
+	// Neither group consumed compute.
+	Shed      uint64  `json:"shed"`
+	Expired   uint64  `json:"expired"`
 	MeanBatch float64 `json:"mean_batch"`
 	// QPS is requests divided by the window from the first request to the
 	// latest dispatch.
@@ -72,6 +112,13 @@ type Snapshot struct {
 	BusyFrac float64 `json:"busy_frac"`
 	P50Ms    float64 `json:"p50_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+	// ServiceMsEst is the smoothed per-request service time backing the
+	// Retry-After estimate.
+	ServiceMsEst float64 `json:"service_ms_est"`
+	// QueueDepth/QueueCap are the admission queue's instantaneous
+	// occupancy and capacity (filled in by Model.Stats).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
 	// BatchHist[k] is how many batches carried exactly k requests
 	// (index 0 unused).
 	BatchHist []uint64 `json:"batch_histogram"`
@@ -81,9 +128,12 @@ type Snapshot struct {
 func (s *Stats) Snapshot() Snapshot {
 	s.mu.Lock()
 	snap := Snapshot{
-		Requests:  s.requests,
-		Batches:   s.batches,
-		BatchHist: append([]uint64(nil), s.hist...),
+		Requests:     s.requests,
+		Batches:      s.batches,
+		Shed:         s.shed,
+		Expired:      s.expired,
+		ServiceMsEst: float64(s.svc) / float64(time.Millisecond),
+		BatchHist:    append([]uint64(nil), s.hist...),
 	}
 	window := s.last.Sub(s.first)
 	busy := s.busy
