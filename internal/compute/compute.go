@@ -96,9 +96,11 @@ func ByName(name string) (Backend, error) {
 
 // Names lists the registered backend names, sorted.
 func Names() []string {
-	out := make([]string, 0, len(backends))
+	out := make([]string, len(backends))
+	i := 0
 	for n := range backends {
-		out = append(out, n)
+		out[i] = n
+		i++
 	}
 	sort.Strings(out)
 	return out

@@ -138,10 +138,14 @@ func (n *Network) ForwardBatchFused(xs []*tensor.Tensor, opt BatchOptions) []*te
 			hooks[i] = opt.HookFor(i)
 		}
 	}
+	// dimsBuf backs the per-sample view shape for every layer; hoisted so
+	// the layer loop performs no header allocations (FromSlice clones the
+	// shape it is handed, so reusing the buffer across layers is safe).
+	dimsBuf := make([]int, 0, 8)
 	for li, l := range n.Layers {
 		if hooks != nil {
 			span := x.Size() / b
-			dims := append([]int{1}, x.Shape()[1:]...)
+			dims := viewDims(&dimsBuf, x.Shape())
 			for i := 0; i < b; i++ {
 				if hooks[i] == nil {
 					continue
@@ -154,16 +158,33 @@ func (n *Network) ForwardBatchFused(xs []*tensor.Tensor, opt BatchOptions) []*te
 		}
 		x = l.Forward(x, false)
 	}
+	// One slab copy for the whole batch instead of one allocation per
+	// sample; the outputs are disjoint views into it.
 	outs := make([]*tensor.Tensor, b)
 	span := x.Size() / b
-	dims := append([]int{1}, x.Shape()[1:]...)
+	dims := viewDims(&dimsBuf, x.Shape())
+	outData := make([]float32, len(x.Data))
+	copy(outData, x.Data)
 	for i := 0; i < b; i++ {
-		outs[i] = tensor.FromSlice(append([]float32(nil), x.Data[i*span:(i+1)*span]...), dims...)
+		outs[i] = tensor.FromSlice(outData[i*span:(i+1)*span], dims...)
 		if opt.Done != nil {
 			opt.Done(i)
 		}
 	}
 	return outs
+}
+
+// viewDims writes the per-sample view shape [1, shape[1], ...] into
+// *buf, growing the buffer only when a network's rank exceeds its
+// capacity — amortized zero allocations when called from a loop.
+func viewDims(buf *[]int, shape tensor.Shape) []int {
+	if cap(*buf) < len(shape) {
+		*buf = make([]int, len(shape))
+	}
+	dims := (*buf)[:len(shape)]
+	dims[0] = 1
+	copy(dims[1:], shape[1:])
+	return dims
 }
 
 // Backward propagates dOut through all layers, accumulating parameter

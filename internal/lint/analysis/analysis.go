@@ -42,6 +42,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// FactTypes lists the fact values (pointers, gob-encodable) the
+	// analyzer exports or imports; see facts.go. Analyzers with fact
+	// types run on every package so facts can flow to dependents.
+	FactTypes []Fact
 	// Run inspects pass.Files and calls pass.Report for each violation.
 	Run func(pass *Pass) error
 }
@@ -69,6 +73,12 @@ type Pass struct {
 	// suppressed counts diagnostics silenced by //lint:ignore, kept so
 	// drivers can surface how much is being ignored.
 	suppressed int
+
+	// store holds the analyzer's cross-package facts accumulated over
+	// the Run; exported buffers this pass's own facts until sealFacts
+	// round-trips them into the store.
+	store    *factStore
+	exported []savedFact
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -136,9 +146,17 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) map[string]map[int
 }
 
 // Run applies every analyzer to every package and returns all diagnostics
-// sorted by position. The error aggregates analyzer failures (not
-// findings).
+// sorted by position. pkgs must be in dependency order (dependencies
+// before dependents — the order Load and the fixture loader produce), so
+// facts exported by an analyzer on a package are visible when the same
+// analyzer reaches the packages importing it. The error aggregates
+// analyzer failures (not findings).
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	registerFactTypes(analyzers)
+	stores := make(map[*Analyzer]*factStore, len(analyzers))
+	for _, a := range analyzers {
+		stores[a] = newFactStore()
+	}
 	var all []Diagnostic
 	var errs []string
 	for _, pkg := range pkgs {
@@ -150,9 +168,14 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				ignores:   pkg.ignores,
+				store:     stores[a],
 			}
 			if err := a.Run(pass); err != nil {
 				errs = append(errs, fmt.Sprintf("%s on %s: %v", a.Name, pkg.ImportPath, err))
+				continue
+			}
+			if err := pass.sealFacts(); err != nil {
+				errs = append(errs, err.Error())
 				continue
 			}
 			all = append(all, pass.diagnostics...)

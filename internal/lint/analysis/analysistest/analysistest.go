@@ -64,12 +64,23 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, importPath stri
 		srcdir: filepath.Join(testdata, "src"),
 		cache:  make(map[string]*loadedFixture),
 	}
-	fix, err := ld.load(importPath)
-	if err != nil {
+	if _, err := ld.load(importPath); err != nil {
 		t.Fatalf("loading fixture %s: %v", importPath, err)
 	}
 
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{fix.pkg})
+	// The loader records fixture packages in completion order, which
+	// puts dependencies before dependents — the order analysis.Run needs
+	// for facts to flow from a fixture to the fixtures importing it.
+	// Expectations are checked across every loaded fixture file, so a
+	// multi-package fixture can place // want comments in its dependency
+	// packages too.
+	pkgs := make([]*analysis.Package, len(ld.order))
+	var files []*ast.File
+	for i, fix := range ld.order {
+		pkgs[i] = fix.pkg
+		files = append(files, fix.pkg.Files...)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -82,7 +93,7 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, importPath stri
 		actual[key] = append(actual[key], d.Message)
 	}
 
-	expected := wantExpectations(t, fset, fix.pkg.Files)
+	expected := wantExpectations(t, fset, files)
 
 	keys := make(map[string]bool)
 	for k := range actual {
@@ -167,7 +178,10 @@ type fixtureLoader struct {
 	fset   *token.FileSet
 	srcdir string
 	cache  map[string]*loadedFixture
-	std    types.Importer
+	// order lists fixtures in load-completion order: every fixture's
+	// fixture dependencies precede it.
+	order []*loadedFixture
+	std   types.Importer
 }
 
 // Import implements types.Importer so fixtures can import each other.
@@ -223,6 +237,7 @@ func (l *fixtureLoader) load(importPath string) (*loadedFixture, error) {
 	}
 	fix := &loadedFixture{pkg: analysis.NewPackage(importPath, dir, l.fset, files, tpkg, info)}
 	l.cache[importPath] = fix
+	l.order = append(l.order, fix)
 	return fix, nil
 }
 

@@ -1,0 +1,261 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// buildCFG parses src (a complete file) and builds the CFG of its first
+// function declaration.
+func buildCFG(t *testing.T, src string) (*analysis.CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return analysis.NewCFG(fn.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// blockWith returns the block one of whose nodes renders to text
+// containing substr.
+func blockWith(t *testing.T, c *analysis.CFG, fset *token.FileSet, substr string) *analysis.Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		for _, line := range blockNodeTexts(c, fset, b) {
+			if strings.Contains(line, substr) {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains %q in:\n%s", substr, c.Format(fset))
+	return nil
+}
+
+func blockNodeTexts(c *analysis.CFG, fset *token.FileSet, b *analysis.Block) []string {
+	// Format renders blocks in order; cheaper to reuse it than to export
+	// node rendering. Parse the section for block b.
+	var texts []string
+	inBlock := false
+	for _, line := range strings.Split(c.Format(fset), "\n") {
+		if !strings.HasPrefix(line, "\t") {
+			inBlock = strings.HasPrefix(line, fmt.Sprintf("%d:", b.Index))
+			continue
+		}
+		if inBlock && !strings.HasPrefix(line, "\t->") {
+			texts = append(texts, strings.TrimPrefix(line, "\t"))
+		}
+	}
+	return texts
+}
+
+// blockWithExact returns the block one of whose nodes renders exactly
+// to text (substring matching is ambiguous when a compound node, like a
+// RangeStmt, textually contains its body).
+func blockWithExact(t *testing.T, c *analysis.CFG, fset *token.FileSet, text string) *analysis.Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		for _, line := range blockNodeTexts(c, fset, b) {
+			if line == text {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block's node is exactly %q in:\n%s", text, c.Format(fset))
+	return nil
+}
+
+func hasEdge(from, to *analysis.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElse(t *testing.T) {
+	c, fset := buildCFG(t, `package p
+func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`)
+	want := strings.TrimLeft(`
+0: entry
+	x > 0
+	-> 1 3
+1: if.then
+	x++
+	-> 2
+2: if.done
+	return x
+3: if.else
+	x--
+	-> 2
+`, "\n")
+	if got := c.Format(fset); got != want {
+		t.Errorf("if/else CFG:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	c, fset := buildCFG(t, `package p
+func g(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+		println(i)
+	}
+	println("done")
+}`)
+	cond := blockWith(t, c, fset, "i < n")
+	post := blockWith(t, c, fset, "i++")
+	cont := blockWith(t, c, fset, "i == 3")
+	brk := blockWith(t, c, fset, "i == 5")
+	body := blockWith(t, c, fset, "println(i)")
+	done := blockWith(t, c, fset, `println("done")`)
+
+	// continue jumps to the post block, break to the done block.
+	if !hasEdge(cont.Succs[0], post) {
+		t.Errorf("continue: then-block of i==3 should edge to post (i++); got succs of %d", cont.Index)
+	}
+	if !hasEdge(brk.Succs[0], done) {
+		t.Errorf("break: then-block of i==5 should edge to the loop exit")
+	}
+	if !hasEdge(body, post) || !hasEdge(post, cond) {
+		t.Errorf("loop back-edges missing: body->post %v, post->cond %v", hasEdge(body, post), hasEdge(post, cond))
+	}
+	if !hasEdge(cond, done) {
+		t.Errorf("cond should edge to loop exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c, fset := buildCFG(t, `package p
+func sw(x int) int {
+	switch x {
+	case 1:
+		return 1
+	case 2:
+		x++
+		fallthrough
+	case 3:
+		x--
+	default:
+		x = 0
+	}
+	return x
+}`)
+	entry := c.Blocks[0]
+	case1 := blockWith(t, c, fset, "return 1")
+	case2 := blockWith(t, c, fset, "x++")
+	case3 := blockWith(t, c, fset, "x--")
+	deflt := blockWith(t, c, fset, "x = 0")
+	exit := blockWith(t, c, fset, "return x")
+
+	for _, b := range []*analysis.Block{case1, case2, case3, deflt} {
+		if !hasEdge(entry, b) {
+			t.Errorf("switch head should edge to every case body; missing -> %d", b.Index)
+		}
+	}
+	if hasEdge(entry, exit) {
+		t.Errorf("switch with default should not edge directly past the cases")
+	}
+	if len(case1.Succs) != 0 {
+		t.Errorf("case 1 returns; want no successors, got %d", len(case1.Succs))
+	}
+	if !hasEdge(case2, case3) {
+		t.Errorf("fallthrough should edge case 2 -> case 3")
+	}
+	if !hasEdge(case3, exit) || !hasEdge(deflt, exit) {
+		t.Errorf("case bodies should edge to switch.done")
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	c, fset := buildCFG(t, `package p
+func d() {
+	defer println("cleanup")
+	if true {
+		return
+	}
+	println("tail")
+}`)
+	def := blockWith(t, c, fset, "defer")
+	if def != c.Blocks[0] {
+		t.Errorf("defer should be an ordinary node in the entry block, got block %d", def.Index)
+	}
+	ret := blockWith(t, c, fset, "return")
+	if len(ret.Succs) != 0 {
+		t.Errorf("return block should have no successors")
+	}
+}
+
+func TestCFGLabeledLoops(t *testing.T) {
+	c, fset := buildCFG(t, `package p
+func h(m, n int) {
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+		}
+	}
+	println("after")
+}`)
+	outerPost := blockWith(t, c, fset, "i++")
+	after := blockWith(t, c, fset, `println("after")`)
+	contOuter := blockWith(t, c, fset, "j == 1")
+	brkOuter := blockWith(t, c, fset, "j == 2")
+
+	if !hasEdge(contOuter.Succs[0], outerPost) {
+		t.Errorf("continue outer should edge to the outer loop's post block")
+	}
+	if !hasEdge(brkOuter.Succs[0], after) {
+		t.Errorf("break outer should edge to the statement after the outer loop")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	c, fset := buildCFG(t, `package p
+func r(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}`)
+	loop := blockWith(t, c, fset, "range xs")
+	body := blockWithExact(t, c, fset, "sum += v")
+	exit := blockWith(t, c, fset, "return sum")
+	if !hasEdge(loop, body) || !hasEdge(loop, exit) {
+		t.Errorf("range loop should edge to both body and exit")
+	}
+	if !hasEdge(body, loop) {
+		t.Errorf("range body should edge back to the loop head")
+	}
+}

@@ -21,9 +21,16 @@
 // parameter (pure-inference entry points like ForwardBatch) allow no
 // receiver writes at all.
 //
-// Known boundary: writes through aliases (`p := l.cache; p.x = v`) and
-// mutation performed by methods of other packages are not tracked; the
-// race detector job remains the backstop for those.
+// Impurity crosses package boundaries through facts: the analyzer runs
+// on every package, summarizes each method ("writes its receiver
+// unguarded somewhere in its call tree") and exports an ImpureFact on
+// it. When a dnn Forward later calls a method of an imported type
+// through the receiver (l.cache.Put(x) with Put defined elsewhere), the
+// imported fact makes the call tree impure and the call is reported —
+// the PR 1 Conv.lastInput shape no longer hides behind a package split.
+//
+// Known boundary: writes through aliases (`p := l.cache; p.x = v`) are
+// not tracked; the race detector job remains the backstop for those.
 package forwardpurity
 
 import (
@@ -37,10 +44,19 @@ import (
 // Analyzer flags eval-time receiver-state writes in Forward/ForwardBatch
 // call trees.
 var Analyzer = &analysis.Analyzer{
-	Name: "forwardpurity",
-	Doc:  "in dnn layer types, forbid receiver-state writes on the inference path of Forward/ForwardBatch (train-guarded writes are allowed)",
-	Run:  run,
+	Name:      "forwardpurity",
+	Doc:       "in dnn layer types, forbid receiver-state writes on the inference path of Forward/ForwardBatch (train-guarded writes are allowed); impurity propagates across packages via facts",
+	FactTypes: []analysis.Fact{(*ImpureFact)(nil)},
+	Run:       run,
 }
+
+// ImpureFact marks a method whose call tree writes its receiver state
+// outside a train guard. It carries no payload; its presence is the
+// fact.
+type ImpureFact struct{}
+
+// AFact marks ImpureFact as an analysis fact.
+func (*ImpureFact) AFact() {}
 
 // methodFacts summarizes one method body for the package-level fixpoint.
 type methodFacts struct {
@@ -60,10 +76,8 @@ type recvCall struct {
 }
 
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Name() != "dnn" {
-		return nil
-	}
-
+	// Summarize every package, not only dnn: methods of imported packages
+	// must export their impurity for dnn call trees to see it.
 	facts := make(map[*types.Func]*methodFacts)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -79,8 +93,19 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 
+	// impureCallee resolves a call's impurity: same-package callees from
+	// the local fixpoint state, imported callees from their exported fact.
+	impureCallee := func(c recvCall) bool {
+		if callee, ok := facts[c.callee]; ok {
+			return callee.impure
+		}
+		var fact ImpureFact
+		return pass.ImportObjectFact(c.callee, &fact)
+	}
+
 	// Fixpoint: impurity propagates backwards over unguarded receiver
-	// calls until nothing changes.
+	// calls until nothing changes. Imported callees are already resolved
+	// (dependencies run first), so only local edges iterate.
 	for changed := true; changed; {
 		changed = false
 		for _, mf := range facts {
@@ -89,7 +114,7 @@ func run(pass *analysis.Pass) error {
 			}
 			impure := len(mf.writes) > 0
 			for _, c := range mf.calls {
-				if callee, ok := facts[c.callee]; ok && callee.impure {
+				if impureCallee(c) {
 					impure = true
 				}
 			}
@@ -100,6 +125,17 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 
+	// Export so dependent packages see this package's impure methods.
+	for obj, mf := range facts {
+		if mf.impure {
+			pass.ExportObjectFact(obj, &ImpureFact{})
+		}
+	}
+
+	// Diagnostics stay scoped to the dnn layer stack.
+	if pass.Pkg.Name() != "dnn" {
+		return nil
+	}
 	for obj, mf := range facts {
 		name := obj.Name()
 		if name != "Forward" && name != "ForwardBatch" {
@@ -109,7 +145,7 @@ func run(pass *analysis.Pass) error {
 			pass.Reportf(pos, "%s writes receiver state on the inference path; shared networks race on this field — guard with the train parameter or move the cache out of the layer", name)
 		}
 		for _, c := range mf.calls {
-			if callee, ok := facts[c.callee]; ok && callee.impure {
+			if impureCallee(c) {
 				pass.Reportf(c.pos, "%s calls %s on the inference path, whose call tree writes receiver state; guard the call with the train parameter", name, c.callee.Name())
 			}
 		}

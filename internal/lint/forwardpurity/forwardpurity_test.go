@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), forwardpurity.Analyzer, "dnn", "other")
+	analysistest.Run(t, analysistest.TestData(t), forwardpurity.Analyzer, "dnn", "other", "dnncross")
 }

@@ -1,0 +1,47 @@
+// Package dnn (import path dnncross) reproduces the PR 1
+// Conv.lastInput race shape split across a package boundary: instead of
+// the layer writing its own field, it delegates the cache to an
+// imported type whose Put method does the write. Without cross-package
+// facts the analyzer could not see through the call; with them the
+// inference-path call to Put is flagged exactly like the direct write.
+package dnn
+
+import "layercache"
+
+// CachedConv is the bad shape: Forward caches its input through the
+// imported Cache on every call, training or not.
+type CachedConv struct {
+	cache layercache.Cache
+}
+
+func (l *CachedConv) Forward(x *layercache.Tensor, train bool) *layercache.Tensor {
+	l.cache.Put(x) // want "Forward calls Put on the inference path"
+	return x
+}
+
+// IndirectConv reaches the impure write through a second hop inside the
+// imported package (Touch -> Put).
+type IndirectConv struct {
+	cache layercache.Cache
+}
+
+func (l *IndirectConv) Forward(x *layercache.Tensor, train bool) *layercache.Tensor {
+	l.cache.Touch(x) // want "Forward calls Touch on the inference path"
+	return x
+}
+
+// GuardedConv is the fixed shape: the cache write sits behind the train
+// guard, and the read-only Peek is allowed anywhere.
+type GuardedConv struct {
+	cache layercache.Cache
+}
+
+func (l *GuardedConv) Forward(x *layercache.Tensor, train bool) *layercache.Tensor {
+	if train {
+		l.cache.Put(x)
+	}
+	if y := l.cache.Peek(); y != nil {
+		return y
+	}
+	return x
+}

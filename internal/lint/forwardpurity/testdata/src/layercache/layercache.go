@@ -1,0 +1,22 @@
+// Package layercache is the dependency half of the cross-package
+// fixture: Put writes receiver state unguarded, so forwardpurity
+// exports an ImpureFact on it that the dnn fixture importing this
+// package picks up. No diagnostics land here — reporting is scoped to
+// dnn packages; this package only sources facts.
+package layercache
+
+type Tensor struct{ Data []float32 }
+
+// Cache is the extracted cache a layer might delegate to.
+type Cache struct {
+	last *Tensor
+}
+
+// Put stores x: an unguarded receiver write, hence impure.
+func (c *Cache) Put(x *Tensor) { c.last = x }
+
+// Peek only reads; it stays pure.
+func (c *Cache) Peek() *Tensor { return c.last }
+
+// Touch is impure transitively: its call tree reaches Put.
+func (c *Cache) Touch(x *Tensor) { c.Put(x) }

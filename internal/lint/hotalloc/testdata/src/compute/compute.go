@@ -1,0 +1,67 @@
+// Package compute is a fixture: every function here is hot, so loop
+// allocations fire, loop-free allocations and local closures do not.
+package compute
+
+// Kernel allocates per row — every flavour the analyzer knows.
+func Kernel(rows [][]float32) []float32 {
+	out := make([]float32, 0) // no diagnostic: outside any loop
+	for _, row := range rows {
+		buf := make([]float32, len(row)) // want "make in a hot loop"
+		tmp := new(float32)              // want "new in a hot loop"
+		dims := []int{1, len(row)}       // want "slice/map literal in a hot loop"
+		seen := map[int]bool{}           // want "slice/map literal in a hot loop"
+		box := &pair{a: 1}               // want "address of a composite literal in a hot loop"
+		out = append(out, row...)        // want "append in a hot loop"
+		_ = buf
+		_ = tmp
+		_ = dims
+		_ = seen
+		_ = box
+	}
+	return out
+}
+
+type pair struct{ a, b float32 }
+
+// LocalClosure binds literals to locals and invokes them: the kernels'
+// helper-closure idiom, which must stay legal.
+func LocalClosure(n int, data []float32) float32 {
+	var sum float32
+	for i := 0; i < n; i++ {
+		at := func(j int) float32 { return data[j] } // no diagnostic: local binding
+		sum += at(i)
+	}
+	return sum
+}
+
+// EscapingClosure hands a fresh closure to a callee every iteration.
+func EscapingClosure(n int, run func(func())) {
+	for i := 0; i < n; i++ {
+		run(func() { _ = i }) // want "escaping closure in a hot loop"
+	}
+}
+
+// Preallocated is the fixed shape: buffers hoisted above the loop,
+// writes by index.
+func Preallocated(rows [][]float32) []float32 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float32, len(rows)*len(rows[0]))
+	for r, row := range rows {
+		for c, v := range row {
+			out[r*len(row)+c] = v
+		}
+	}
+	return out
+}
+
+// Justified shows the suppression escape hatch for a genuinely cold loop.
+func Justified(names []string) map[string][]int {
+	idx := make(map[string][]int, len(names))
+	for i, name := range names {
+		//lint:ignore hotalloc one-time index build at load time, not on the serving path
+		idx[name] = append(idx[name], i)
+	}
+	return idx
+}

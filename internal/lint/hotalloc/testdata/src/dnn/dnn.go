@@ -1,0 +1,38 @@
+// Package dnn is a fixture for the call-tree side: only the
+// Forward/ForwardBatch/ForwardBatchFused closure is hot, and helpers
+// they call inherit hotness through the same-package fixpoint.
+package dnn
+
+type Tensor struct{ Data []float32 }
+
+type Net struct{ layers []int }
+
+func (n *Net) ForwardBatch(xs []*Tensor) []*Tensor {
+	out := make([]*Tensor, len(xs)) // no diagnostic: outside any loop
+	for i, x := range xs {
+		y := &Tensor{Data: x.Data} // want "address of a composite literal in a hot loop"
+		out[i] = n.scale(y)
+	}
+	return out
+}
+
+// scale is hot because ForwardBatch calls it.
+func (n *Net) scale(x *Tensor) *Tensor {
+	for i := range x.Data {
+		tmp := make([]float32, 1) // want "make in a hot loop"
+		tmp[0] = x.Data[i]
+		x.Data[i] = tmp[0]
+	}
+	return x
+}
+
+// Loss is cold: not reachable from a forward entry point, so its loop
+// allocations are fine (training-path code allocates freely).
+func (n *Net) Loss(xs []*Tensor) []float32 {
+	var all []float32
+	for _, x := range xs {
+		grad := make([]float32, len(x.Data)) // no diagnostic: cold path
+		all = append(all, grad...)
+	}
+	return all
+}

@@ -9,9 +9,13 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/errreturn"
 	"repro/internal/lint/forwardpurity"
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/loopcapture"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/noclocktime"
 	"repro/internal/lint/nomathrand"
+	"repro/internal/lint/rngstream"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -19,8 +23,12 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		errreturn.Analyzer,
 		forwardpurity.Analyzer,
+		hotalloc.Analyzer,
+		lockcheck.Analyzer,
+		loopcapture.Analyzer,
 		maporder.Analyzer,
 		noclocktime.Analyzer,
 		nomathrand.Analyzer,
+		rngstream.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package loopcapture_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/loopcapture"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), loopcapture.Analyzer, "app")
+}

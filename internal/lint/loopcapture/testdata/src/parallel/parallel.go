@@ -1,0 +1,20 @@
+// Package parallel is a fixture stub shaped like the repository's pool:
+// the analyzer keys on the package name and the For/ForEach/Do names.
+package parallel
+
+// For runs fn(i) for i in [0, n).
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ForEach runs fn(i) for each index of a work list of length n.
+func ForEach(n int, fn func(int)) { For(n, fn) }
+
+// Do runs each task.
+func Do(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}

@@ -1,0 +1,289 @@
+// Package rngstream enforces the per-goroutine RNG stream discipline:
+// a task closure launched with `go` or through the parallel pool must
+// not draw from an RNG it captured. The deterministic-replay contract
+// splits the parent RNG into per-task streams *before* the fan-out
+// (streams := rng.SplitN(n)) and each task uses only its own stream —
+// a captured RNG shared across tasks gives schedule-dependent results
+// (and races, since RNG state mutates on every draw).
+//
+// Inside a task closure every method call on an RNG-typed value is
+// traced to its definition with the framework's reaching-definitions
+// analysis. The receiver is legal when it
+//
+//   - is a parameter of the closure,
+//   - indexes a captured slice with a task-local index
+//     (streams[i] — the SplitN idiom), or
+//   - comes from NewRNG (a fresh, task-seeded generator).
+//
+// Everything else — using the captured RNG directly, copying it into a
+// local, or calling Split/SplitN *inside* the task (which mutates the
+// shared parent) — is reported.
+package rngstream
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags shared-RNG draws inside goroutine and pool-task
+// closures.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngstream",
+	Doc:  "goroutine/pool-task closures must draw only from per-task RNG streams (SplitN before the fan-out, NewRNG, or a closure parameter) — never from a captured RNG",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkTask(pass, lit)
+				}
+			case *ast.CallExpr:
+				if isPoolCall(pass, n) {
+					for _, arg := range n.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							checkTask(pass, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolCall reports whether call invokes parallel.For, ForEach or Do.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "parallel" {
+		return false
+	}
+	switch fn.Name() {
+	case "For", "ForEach", "Do":
+		return true
+	}
+	return false
+}
+
+// checkTask verifies every RNG method call in one task closure.
+func checkTask(pass *analysis.Pass, lit *ast.FuncLit) {
+	locals := make(map[types.Object]bool)
+	var params []*ast.Ident
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			params = append(params, field.Names...)
+		}
+	}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+
+	cfg := analysis.NewCFG(lit.Body)
+	rd := analysis.NewReachingDefs(cfg, pass.TypesInfo, params)
+	tr := &tracer{pass: pass, rd: rd, locals: locals}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isRNG(pass, sel.X) {
+			return true
+		}
+		if !tr.derivedPerTask(sel.X, 0) {
+			pass.Reportf(call.Pos(), "pool task draws from RNG %s, which is not a per-task stream; SplitN before the fan-out and index the streams by task (or use NewRNG with a task-local seed)", exprName(sel.X))
+		}
+		return true
+	})
+}
+
+// isRNG reports whether e's type is tensor.RNG (by name, so fixtures
+// can model it) or a pointer to it.
+func isRNG(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "RNG"
+}
+
+// tracer answers "does this receiver expression hold a per-task RNG?"
+// through the closure's reaching definitions.
+type tracer struct {
+	pass   *analysis.Pass
+	rd     *analysis.ReachDefs
+	locals map[types.Object]bool
+}
+
+func (tr *tracer) derivedPerTask(recv ast.Expr, depth int) bool {
+	if depth > 5 {
+		return false
+	}
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		obj := tr.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if !tr.locals[obj] {
+			return false // captured or package-level: shared state
+		}
+		defs := tr.rd.At(e)
+		if defs == nil {
+			// Local but outside the CFG's view (defined in a nested
+			// closure); be lenient — the nested closure was checked at
+			// its own launch site if it is a task.
+			return true
+		}
+		for _, def := range defs {
+			if !tr.defOK(def, obj, depth) {
+				return false
+			}
+		}
+		return true
+	case *ast.IndexExpr:
+		// streams[i] style receiver: fine when the index is task-local.
+		return tr.localIndex(e)
+	case *ast.CallExpr:
+		return tr.sourceOK(e, depth)
+	}
+	return false
+}
+
+// defOK checks one reaching definition of obj.
+func (tr *tracer) defOK(def analysis.Def, obj types.Object, depth int) bool {
+	switch node := def.Node.(type) {
+	case *ast.Ident:
+		// Parameter pseudo-definition.
+		return true
+	case *ast.AssignStmt:
+		rhs := rhsFor(node, obj, tr.pass)
+		if rhs == nil {
+			return false
+		}
+		return tr.rhsOK(rhs, depth)
+	case *ast.DeclStmt:
+		if gd, ok := node.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if tr.pass.TypesInfo.Defs[name] == obj && i < len(vs.Values) {
+						return tr.rhsOK(vs.Values[i], depth)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.RangeStmt:
+		// for _, r := range streams — ranging over the captured stream
+		// slice hands every task the full set; not per-task.
+		return false
+	}
+	return false
+}
+
+// rhsOK checks whether expr produces a per-task RNG.
+func (tr *tracer) rhsOK(expr ast.Expr, depth int) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.IndexExpr:
+		return tr.localIndex(e)
+	case *ast.UnaryExpr:
+		if inner, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok {
+			return tr.localIndex(inner)
+		}
+		return false
+	case *ast.CallExpr:
+		return tr.sourceOK(e, depth)
+	case *ast.Ident:
+		return tr.derivedPerTask(e, depth+1)
+	}
+	return false
+}
+
+// localIndex reports whether ix's index expression references a
+// task-local variable — the per-index ownership test.
+func (tr *tracer) localIndex(ix *ast.IndexExpr) bool {
+	found := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := tr.pass.TypesInfo.Uses[id]; obj != nil && tr.locals[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sourceOK accepts NewRNG(...) always, and Split/SplitN only on a
+// receiver that is itself per-task (splitting the shared parent inside
+// the task mutates state every sibling reads).
+func (tr *tracer) sourceOK(call *ast.CallExpr, depth int) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "NewRNG"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "NewRNG":
+			return true
+		case "Split", "SplitN":
+			return tr.derivedPerTask(fun.X, depth+1)
+		}
+	}
+	return false
+}
+
+// rhsFor finds the RHS expression assigned to obj in a (possibly
+// multi-value) assignment; nil for tuple assignments from calls.
+func rhsFor(as *ast.AssignStmt, obj types.Object, pass *analysis.Pass) ast.Expr {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+				return as.Rhs[i]
+			}
+		}
+	}
+	return nil
+}
+
+// exprName renders a short name for diagnostics.
+func exprName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprName(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(v.X) + "[...]"
+	case *ast.StarExpr:
+		return exprName(v.X)
+	}
+	return "<rng>"
+}

@@ -1,0 +1,12 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/rngstream"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rngstream.Analyzer, "app")
+}

@@ -1,0 +1,16 @@
+// Package parallel is a fixture stub shaped like the repository's pool.
+package parallel
+
+// For runs fn(i) for i in [0, n).
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Do runs each task.
+func Do(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}

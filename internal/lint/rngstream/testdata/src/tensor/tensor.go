@@ -1,0 +1,27 @@
+// Package tensor is a fixture stub of the repository's RNG: the
+// analyzer keys on the type name.
+package tensor
+
+// RNG is a splittable deterministic generator.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a fresh generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives one child stream, advancing the parent.
+func (r *RNG) Split() *RNG { r.state++; return &RNG{state: r.state} }
+
+// SplitN derives n independent child streams.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+// Float64 draws from the stream.
+func (r *RNG) Float64() float64 { r.state++; return float64(r.state%1000) / 1000 }
+
+// Intn draws an int in [0, n).
+func (r *RNG) Intn(n int) int { r.state++; return int(r.state) % n }
