@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare lint lint-baseline vuln
+.PHONY: build test race bench bench-json bench-compare cluster-smoke lint lint-baseline vuln
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ bench:
 # deliberately as that trajectory's per-PR data points (numbers are
 # host-specific; CI regenerates and prints its own run).
 bench-json:
-	$(GO) run ./examples/serving -duration 3s -json BENCH_pr7.json
+	$(GO) run ./examples/serving -duration 3s -json BENCH_pr9.json
 
 # bench-compare gates the freshly generated benchmark against the previous
 # PR's committed record: any throughput metric more than 10% below the old
@@ -36,7 +36,16 @@ bench-json:
 # runs this as an advisory (continue-on-error) step after regenerating the
 # new file itself.
 bench-compare:
-	$(GO) run ./cmd/bench-compare -tolerance 0.10 BENCH_pr5.json BENCH_pr7.json
+	$(GO) run ./cmd/bench-compare -tolerance 0.10 BENCH_pr7.json BENCH_pr9.json
+
+# cluster-smoke stands up the sharded-serving fleet for real — two
+# `serve -role stage` processes plus a `serve -role dispatcher`, launched
+# from a freshly built binary — then round-trips predictions (bit-checked
+# against in-process serving) and exercises graceful drain. CI runs this
+# in the build-test job.
+cluster-smoke:
+	$(GO) build -o /tmp/repro-serve-smoke ./cmd/serve
+	$(GO) run ./examples/cluster -serve-bin /tmp/repro-serve-smoke
 
 # lint is the merge gate: formatting, go vet, and the repository's own
 # analyzer suite (internal/lint via cmd/repro-lint) enforcing the

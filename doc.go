@@ -76,7 +76,32 @@
 // cmd/bench-compare gating the recorded BENCH_pr*.json trajectory in CI.
 // A request's output is a pure function of (deployment, input, seed),
 // independent of batching regime, batch composition, queue pressure,
-// worker count and compute backend.
+// worker count and compute backend. GET /metrics exposes the per-model
+// stats rings in the Prometheus text format.
+//
+// # Cluster serving
+//
+// internal/cluster shards one model across processes as a pipeline of
+// layer-range stages. A partitioner (ProfileNetwork + Partition) probes
+// per-layer compute cost once, sizes every layer boundary at the
+// deployment's precision, and chooses K-1 cut points by dynamic
+// programming that minimizes the bottleneck stage — per-stage compute
+// plus the activation-transfer cost of its edges — since pipeline
+// throughput is set by the slowest stage. eden.Deployment.Slice carves
+// out a stage: the sub-network plus that range's share of the per-data
+// BER assignment and bounds. cmd/serve -role stage serves a slice,
+// accepting raw activations as binary frames on POST
+// /v1/models/{name}/infer; cmd/serve -role dispatcher fronts the fleet
+// behind the unchanged JSON predict API, streaming activations stage to
+// stage with per-stage in-flight pipelining, round-robining stage
+// replicas, and using /v1/healthz polling for membership so draining
+// replicas fall out of rotation. The determinism contract extends
+// across the wire: error draws are pure functions of (seed, bit
+// position), every slice pins the full-model DRAM bit layout
+// (eden.DataLayout), and the codec carries exact float32 bit patterns —
+// so cluster output is bit-identical to single-process serving,
+// enforced by internal/cluster's loopback e2e test and the
+// make cluster-smoke CI step with real processes.
 //
 // # The determinism contract, enforced
 //

@@ -1,0 +1,277 @@
+// The cluster example is the end-to-end smoke test for sharded serving,
+// run by `make cluster-smoke` in CI. It exercises the real process
+// topology, not an in-process stand-in:
+//
+//  1. run one fast EDEN deploy of LeNet and write the artifact to disk;
+//  2. partition it into two stages with the DP partitioner;
+//  3. launch two `serve -role stage` processes and one
+//     `serve -role dispatcher` process from the binary named by -serve-bin;
+//  4. round-trip predictions through the dispatcher's JSON API and check
+//     them bit-for-bit against serving the same artifact in process —
+//     the cross-process determinism contract;
+//  5. SIGTERM a stage replica and confirm its /v1/healthz flips to 503
+//     (draining) while in-flight work finishes, then SIGTERM the rest and
+//     confirm every process exits cleanly.
+//
+// Any mismatch, unhealthy probe, or non-zero exit fails the run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eden"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func main() {
+	serveBin := flag.String("serve-bin", "", "path to a built cmd/serve binary (required)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall smoke deadline")
+	flag.Parse()
+	if *serveBin == "" {
+		log.Fatal("-serve-bin is required (build it with: go build -o <path> ./cmd/serve)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// One fast coarse deploy — same shape the tests use; the operating
+	// point quality is irrelevant here, only the determinism contract.
+	cfg := eden.DefaultDeploy("A")
+	cfg.Rounds = 0
+	cfg.Char.MaxSamples = 20
+	cfg.Char.Repeats = 1
+	cfg.Char.SearchSteps = 4
+	cfg.Char.MaxDrop = 0.05
+	log.Print("deploying LeNet (coarse, fast settings)...")
+	dep, err := eden.Deploy("LeNet", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "cluster-smoke")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	artifact := filepath.Join(dir, "lenet.eden")
+	if err := dep.SaveFile(artifact); err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := cluster.PlanFor(dep, cluster.PartitionConfig{Stages: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("partition: %v (bottleneck %.3fms)", plan.Ranges, plan.BottleneckNs/1e6)
+
+	// Launch the fleet: two stages plus the dispatcher, each a real
+	// process on its own loopback port.
+	var procs []*proc
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+	stageURLs := make([]string, len(plan.Ranges))
+	for i, r := range plan.Ranges {
+		p := start(ctx, *serveBin,
+			"-role", "stage", "-deployment", artifact,
+			"-addr", "127.0.0.1:"+strconv.Itoa(freePort()),
+			"-stage-layers", fmt.Sprintf("%d:%d", r[0], r[1]),
+			"-stage-index", strconv.Itoa(i), "-stage-count", strconv.Itoa(len(plan.Ranges)),
+			"-drain-notice", "200ms")
+		procs = append(procs, p)
+		stageURLs[i] = p.base
+	}
+	for _, p := range procs {
+		waitHealthy(ctx, p.base)
+	}
+	dispatcher := start(ctx, *serveBin,
+		"-role", "dispatcher", "-model", dep.ModelName,
+		"-addr", "127.0.0.1:"+strconv.Itoa(freePort()),
+		"-stages", stageURLs[0]+";"+stageURLs[1],
+		"-drain-notice", "200ms")
+	procs = append(procs, dispatcher)
+	waitHealthy(ctx, dispatcher.base)
+	log.Printf("fleet up: stages %v, dispatcher %s", stageURLs, dispatcher.base)
+
+	// In-process reference server for the bit-identity check.
+	ref := serve.New(serve.Config{MaxBatch: 4})
+	defer ref.Close()
+	refModel, err := ref.Deploy(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := tensor.NewRNG(0x5A0E)
+	for i, seed := range []uint64{1, 7, 0xDECAF, 1 << 44} {
+		x := tensor.New(1, dep.Net.InC, dep.Net.InH, dep.Net.InW)
+		x.FillUniform(rng, -1, 1)
+		want, err := refModel.Predict(context.Background(), x.Data, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := predict(dispatcher.base, dep.ModelName, x.Data, seed)
+		if len(got.Output) != len(want.Output) {
+			log.Fatalf("probe %d: output length %d, want %d", i, len(got.Output), len(want.Output))
+		}
+		for j := range want.Output {
+			if got.Output[j] != want.Output[j] {
+				log.Fatalf("probe %d seed %d: output[%d] = %v over the cluster, %v in process",
+					i, seed, j, got.Output[j], want.Output[j])
+			}
+		}
+		if got.ArgMax != want.ArgMax {
+			log.Fatalf("probe %d: argmax %d != %d", i, got.ArgMax, want.ArgMax)
+		}
+	}
+	log.Print("predict round-trips bit-identical to single-process serving")
+
+	// Graceful drain: SIGTERM stage 0 and watch its probe advertise 503
+	// before the listener closes.
+	if err := procs[0].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatal(err)
+	}
+	sawDraining := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(procs[0].base + "/v1/healthz")
+		if err != nil {
+			break // listener closed — drain finished
+		}
+		code := resp.StatusCode
+		_ = resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			sawDraining = true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawDraining {
+		log.Fatal("stage 0 never advertised draining (503) before closing")
+	}
+	if err := procs[0].wait(10 * time.Second); err != nil {
+		log.Fatalf("stage 0 did not exit cleanly: %v", err)
+	}
+	log.Print("stage 0 drained gracefully (healthz 503, clean exit)")
+
+	for _, p := range procs[1:] {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range procs[1:] {
+		if err := p.wait(10 * time.Second); err != nil {
+			log.Fatalf("%v did not exit cleanly: %v", p.cmd.Args[1:3], err)
+		}
+	}
+	log.Print("cluster smoke OK: fleet served bit-identically and drained cleanly")
+}
+
+// proc is one launched serve process plus the base URL it listens on.
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// start launches the serve binary with the given flags; the -addr flag must
+// be present so the base URL can be derived.
+func start(ctx context.Context, bin string, args ...string) *proc {
+	addr := ""
+	for i, a := range args {
+		if a == "-addr" {
+			addr = args[i+1]
+		}
+	}
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	return &proc{cmd: cmd, base: "http://" + addr}
+}
+
+// wait blocks for process exit with a deadline; a non-zero status is an
+// error.
+func (p *proc) wait(d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		p.kill()
+		return fmt.Errorf("timeout after %v", d)
+	}
+}
+
+// kill force-terminates the process, ignoring already-exited errors.
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+}
+
+// freePort asks the kernel for an unused loopback port. The port is
+// released before the child binds it — a benign race for a smoke test.
+func freePort() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	_ = ln.Close()
+	return port
+}
+
+// waitHealthy polls /v1/healthz until it answers 200 or the context dies.
+func waitHealthy(ctx context.Context, base string) {
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			_ = resp.Body.Close()
+			if code == http.StatusOK {
+				return
+			}
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatalf("%s never became healthy: %v", base, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// predict round-trips one JSON predict request through the dispatcher.
+func predict(base, model string, input []float32, seed uint64) serve.PredictResponse {
+	body, err := json.Marshal(serve.PredictRequest{Input: input, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/models/"+model+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("predict: status %d", resp.StatusCode)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		log.Fatal(err)
+	}
+	return pr
+}

@@ -6,7 +6,11 @@
 // verifies that a fixed request seed yields byte-identical outputs across
 // both batching regimes and across backends, and then measures the
 // deployment-artifact path — a pipeline-produced eden.Deployment served
-// through Server.Deploy, the route `cmd/serve -deployment` takes. The
+// through Server.Deploy, the route `cmd/serve -deployment` takes — both
+// single-process and cut into a two-stage pipeline behind the cluster
+// dispatcher, whose fixed-seed probe must match the single-process bytes.
+// A worker-count sweep (1/2/4 workers of raw ForwardBatch) records the
+// scaling curve. The
 // single-vs-batched comparison on the flag backend runs as one paired
 // measurement — both servers up at once, load interleaved in ABBA slices —
 // so the recorded batch16_speedup tracks the scheduler, not the host's
@@ -42,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/compute"
 	"repro/internal/dnn"
 	"repro/internal/eden"
@@ -165,12 +170,39 @@ func main() {
 		log.Fatal(err)
 	}
 	depInputs := makeInputs(dnn.MustPretrained("LeNet"), 64)
-	qpsDeploy, _ := loadTest("LeNet", func(s *serve.Server) error {
+	qpsDeploy, deployProbe := loadTest("LeNet", func(s *serve.Server) error {
 		_, err := s.Deploy(dep, serve.WithBackend(flagBackend))
 		return err
 	}, cfg, *concurrency, *duration, depInputs)
 	fmt.Printf("deploy-path QPS   (MaxBatch=16, %2d clients, %4s): %8.1f  (LeNet, serving BER %.1e)\n",
 		*concurrency, flagBackend.Name(), qpsDeploy, dep.ServingBER)
+
+	// Phase 3b: the same artifact cut into a two-stage pipeline behind the
+	// dispatcher (stage servers + dispatcher on loopback, activations over
+	// the binary wire). The JSON predict surface is identical, so the same
+	// load generator drives it; the fixed probe must be byte-identical to
+	// the single-process deploy path — the determinism contract extended
+	// across the wire.
+	qpsCluster, clusterProbe := clusterLoadTest(dep, cfg, *concurrency, *duration, depInputs)
+	det = det && floatsEqual(clusterProbe, deployProbe)
+	fmt.Printf("cluster QPS       (K=2 stages,  %2d clients, %4s): %8.1f  (dispatcher path, LeNet)\n",
+		*concurrency, flagBackend.Name(), qpsCluster)
+
+	// Phase 3c: worker-count scaling. The closed-loop phases above all run
+	// at the flag worker count; here raw ForwardBatch throughput is swept at
+	// 1/2/4 workers so regressions off the scaling curve show up in the
+	// recorded trajectory rather than hiding behind a fixed pool size.
+	workerScaling := map[string]float64{}
+	for _, n := range []int{1, 2, 4} {
+		parallel.SetWorkers(n)
+		tm.Net.SetBackend(flagBackend)
+		sps := forwardBatchSPS(tm, 16, *duration/2)
+		tm.Net.SetBackend(nil)
+		workerScaling[fmt.Sprintf("w%d_sps", n)] = sps
+		fmt.Printf("worker scaling    (ForwardBatch, %d worker(s), %4s): %8.1f samples/s\n",
+			n, flagBackend.Name(), sps)
+	}
+	parallel.SetWorkers(*workers)
 
 	// Phase 4: open-loop arrivals. Pace requests at a fixed interarrival
 	// targeting ~2x the measured closed-loop capacity, against a small
@@ -207,6 +239,8 @@ func main() {
 			"backends":           perBackend,
 			"qps_single":         qpsSingle,
 			"qps_deploy_batch16": qpsDeploy,
+			"qps_cluster_k2":     qpsCluster,
+			"worker_scaling":     workerScaling,
 			"deploy_model":       "LeNet",
 			"deploy_serving_ber": dep.ServingBER,
 			"determinism_ok":     det,
@@ -389,6 +423,79 @@ func loadTest(model string, register func(*serve.Server) error, cfg serve.Config
 	qps := float64(served.Load()) / time.Since(start).Seconds()
 
 	probe, err := predict(http.DefaultClient, base, model, inputs[0], 424242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return qps, probe
+}
+
+// clusterLoadTest serves the artifact as a two-stage pipeline — the DP
+// partitioner picks the cut, each slice runs on its own loopback stage
+// server, and a dispatcher fronts them with the ordinary JSON predict
+// API — then drives it with the same closed-loop load generator as the
+// single-process phases. Returns dispatcher-path QPS and the fixed probe
+// output (seed 424242, inputs[0]) for the cross-process determinism check.
+func clusterLoadTest(dep *eden.Deployment, cfg serve.Config, clients int, window time.Duration, inputs [][]float32) (float64, []float32) {
+	plan, err := cluster.PlanFor(dep, cluster.PartitionConfig{Stages: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slices, err := cluster.SliceAll(dep, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stages := make([][]string, len(slices))
+	for i, slice := range slices {
+		s := serve.New(cfg)
+		defer s.Close()
+		if _, err := s.DeployStage(slice); err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: serve.NewHandler(s)}
+		go hs.Serve(ln)
+		defer hs.Close()
+		stages[i] = []string{"http://" + ln.Addr().String()}
+	}
+	d, err := cluster.NewDispatcher(cluster.DispatcherConfig{Model: dep.ModelName, Stages: stages})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := &http.Server{Handler: d.Handler()}
+	go front.Serve(ln)
+	defer front.Close()
+	base := "http://" + ln.Addr().String()
+
+	var served atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for r := 0; time.Now().Before(deadline); r++ {
+				in := inputs[(c+r)%len(inputs)]
+				if _, err := predict(client, base, dep.ModelName, in, uint64(c)<<32|uint64(r)); err != nil {
+					log.Fatal(err)
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	qps := float64(served.Load()) / time.Since(start).Seconds()
+
+	probe, err := predict(http.DefaultClient, base, dep.ModelName, inputs[0], 424242)
 	if err != nil {
 		log.Fatal(err)
 	}

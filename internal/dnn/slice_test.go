@@ -1,0 +1,80 @@
+package dnn
+
+import (
+	"testing"
+)
+
+// TestSliceChainBitIdentical cuts every zoo architecture at every boundary
+// pair and demands that chaining the stage forwards reproduces the full
+// forward bit for bit — the property cluster serving's determinism contract
+// stands on.
+func TestSliceChainBitIdentical(t *testing.T) {
+	for _, spec := range Zoo {
+		net, err := BuildModel(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		L := len(net.Layers)
+		cuts := [][]int{{0, L}}
+		if L >= 2 {
+			cuts = append(cuts, []int{0, L / 2, L}, []int{0, 1, L})
+		}
+		if L >= 3 {
+			cuts = append(cuts, []int{0, L / 3, 2 * L / 3, L})
+		}
+		xs := batchInputs(2, net, 0x51C3)
+		for _, x := range xs {
+			want := net.Forward(x.Clone(), false, nil)
+			for _, cut := range cuts {
+				got := x.Clone()
+				for i := 0; i+1 < len(cut); i++ {
+					stage, err := net.Slice(cut[i], cut[i+1])
+					if err != nil {
+						t.Fatalf("%s slice [%d,%d): %v", spec.Name, cut[i], cut[i+1], err)
+					}
+					got = stage.Forward(got, false, nil)
+				}
+				if !got.Shape().Equal(want.Shape()) {
+					t.Fatalf("%s cuts %v: shape %v != %v", spec.Name, cut, got.Shape(), want.Shape())
+				}
+				for j := range want.Data {
+					if got.Data[j] != want.Data[j] {
+						t.Fatalf("%s cuts %v: element %d differs: %v != %v",
+							spec.Name, cut, j, got.Data[j], want.Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSliceGeometryAndErrors pins the slice's input geometry to the
+// boundary shapes and the final-stage carryover of the detection head.
+func TestSliceGeometryAndErrors(t *testing.T) {
+	net, err := BuildModel("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := len(net.Layers)
+	shapes := net.BoundaryShapes()
+	if len(shapes) != L+1 {
+		t.Fatalf("BoundaryShapes returned %d shapes for %d layers", len(shapes), L)
+	}
+	for lo := 0; lo < L; lo++ {
+		s, err := net.Slice(lo, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := s.InC*s.InH*s.InW, shapes[lo].Size(); got != want {
+			t.Fatalf("slice [%d,%d) input elements %d, want %d", lo, L, got, want)
+		}
+		if len(s.Layers) != L-lo {
+			t.Fatalf("slice [%d,%d) has %d layers", lo, L, len(s.Layers))
+		}
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, L + 1}, {2, 2}, {3, 1}} {
+		if _, err := net.Slice(bad[0], bad[1]); err == nil {
+			t.Fatalf("slice [%d,%d) should fail", bad[0], bad[1])
+		}
+	}
+}

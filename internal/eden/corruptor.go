@@ -182,6 +182,22 @@ func (s *SoftwareDRAM) offsetFor(id string, bits int) int {
 	return off
 }
 
+// SetLayout pins the DRAM bit offset of every data ID up front, replacing
+// lazy first-use assignment. Offsets decide which error draws a tensor
+// sees, and lazy assignment depends on corruption order — a pipeline stage
+// that only ever touches its own layers would lay them out from bit 0 and
+// diverge from the whole-model layout. Pinning the full-model layout (see
+// eden.DataLayout) makes a stage's draws for its tensors bit-identical to
+// single-process serving. nextBit continues allocation past the pinned
+// layout for any ID not in it. Clones inherit the pinned layout.
+func (s *SoftwareDRAM) SetLayout(offsets map[string]int, nextBit int) {
+	s.offsets = make(map[string]int, len(offsets))
+	for id, off := range offsets {
+		s.offsets[id] = off
+	}
+	s.nextBit = nextBit
+}
+
 // corruptTensor pushes one tensor through the modelled approximate DRAM:
 // quantize, inject model errors at the data's BER, correct implausible
 // values, dequantize into a fresh tensor.

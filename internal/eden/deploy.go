@@ -116,6 +116,11 @@ type Deployment struct {
 	Bounds map[string]memctrl.Bounds `json:"bounds"`
 	// WeightBytes is the weight footprint at Prec.
 	WeightBytes int `json:"weight_bytes"`
+	// Stage is set only on pipeline-stage slices produced by Slice: the
+	// stage's layer range, boundary shapes, and the full-model DRAM layout
+	// that keeps its error injection bit-identical to single-process
+	// serving. Full artifacts omit it, so their encoding is unchanged.
+	Stage *StageInfo `json:"stage,omitempty"`
 	// Net is the boosted network (weights serialized separately from the
 	// JSON metadata by Save, via the dnn state-tensor machinery).
 	Net *dnn.Network `json:"-"`
@@ -263,18 +268,42 @@ func (d *Deployment) NewCorruptor() *SoftwareDRAM {
 	for id, b := range d.Bounds {
 		corr.Bounds[id] = b
 	}
+	if d.Stage != nil {
+		// A stage corruptor touches only its own tensors, so first-use
+		// offset assignment would diverge from the single-process layout.
+		// Pin every offset to the full-model layout instead: injection is a
+		// pure function of (seed, offset, pass), so this is exactly what
+		// makes stage-wise corruption bitwise-equal to whole-model serving.
+		corr.SetLayout(d.Stage.Layout, d.Stage.LayoutEnd)
+	}
 	return corr
+}
+
+// buildArch rebuilds the deployment's network architecture from the zoo by
+// name, re-slicing it to the stage's layer range when the artifact is a
+// pipeline-stage slice — so state-tensor copies and loads line up with the
+// (possibly sliced) serialized state.
+func (d *Deployment) buildArch() (*dnn.Network, error) {
+	net, err := dnn.BuildModel(d.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	if d.Stage != nil {
+		return net.Slice(d.Stage.Lo, d.Stage.Hi)
+	}
+	return net, nil
 }
 
 // CloneNet rebuilds the model architecture from the zoo and copies the
 // deployment's boosted state into it, so a caller (one serving registration,
 // one experiment) can corrupt weights in place without touching the
-// artifact.
+// artifact. For a stage slice, the clone is the sliced architecture with
+// the stage's state.
 func (d *Deployment) CloneNet() (*dnn.Network, error) {
 	if d.Net == nil {
 		return nil, fmt.Errorf("eden: deployment %q has no network", d.ModelName)
 	}
-	fresh, err := dnn.BuildModel(d.ModelName)
+	fresh, err := d.buildArch()
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +398,7 @@ func LoadDeployment(r io.Reader) (*Deployment, error) {
 	default:
 		return nil, fmt.Errorf("eden: deployment has unknown precision %d", d.Prec)
 	}
-	net, err := dnn.BuildModel(d.ModelName)
+	net, err := d.buildArch()
 	if err != nil {
 		return nil, err
 	}

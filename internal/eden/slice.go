@@ -1,0 +1,136 @@
+package eden
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dnn"
+	"repro/internal/quant"
+)
+
+// StageInfo identifies a pipeline-stage slice of a deployment: its position
+// in the K-stage pipeline, the half-open layer range it serves, the
+// activation geometry at its boundaries, and the full-model DRAM layout the
+// stage's corruptor must reproduce. It is serialized with the artifact, so
+// a sliced deployment file is self-contained: a stage server needs nothing
+// but its own artifact to corrupt byte-identically to a single process
+// serving the whole model.
+type StageInfo struct {
+	// Index and Count position the stage in the pipeline (0-based).
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Lo and Hi are the half-open top-level layer range this stage runs.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// InDims and OutDims are the exact activation shapes (leading batch
+	// dimension 1) crossing the stage's input and output boundaries; the
+	// wire format and dispatcher validate against them.
+	InDims  []int `json:"in_dims"`
+	OutDims []int `json:"out_dims"`
+	// Layout maps every data ID of the FULL model to its DRAM bit offset,
+	// and LayoutEnd is the first bit past the layout. Error injection is a
+	// pure function of (model seed, bit offset, pass), so pinning the
+	// full-model offsets is what makes a stage's corruption of its own
+	// tensors bit-identical to the same tensors in single-process serving.
+	Layout    map[string]int `json:"layout"`
+	LayoutEnd int            `json:"layout_end"`
+}
+
+// DataLayout computes the DRAM bit offset of every data ID of net at the
+// given precision, mirroring exactly how a single-process corruptor lays
+// tensors out: weights in parameter order, then IFMs in forward layer
+// order (the EnumerateData order), each rounded up to a row boundary.
+// The second return is the first bit past the layout.
+func DataLayout(net *dnn.Network, prec quant.Precision, rowBits int) (map[string]int, int) {
+	layout := map[string]int{}
+	next := 0
+	for _, d := range EnumerateData(net, prec) {
+		layout[d.ID] = next
+		rows := (d.Bits + rowBits - 1) / rowBits
+		next += rows * rowBits
+	}
+	return layout, next
+}
+
+// Slice carves the pipeline stage [lo, hi) out of a full deployment
+// artifact: the returned Deployment carries the sub-network (a private
+// clone — the source artifact is never aliased), the stage's share of the
+// fine-grained BER assignment, bounds and tolerances, and the full-model
+// DRAM layout that keeps its error injection aligned with single-process
+// serving. index/count position the stage for health reporting and
+// validation. The result serializes through Save/LoadDeployment like any
+// artifact and registers through serve.Server.DeployStage.
+func (d *Deployment) Slice(lo, hi, index, count int) (*Deployment, error) {
+	if d.Stage != nil {
+		return nil, fmt.Errorf("eden: deployment %q is already a stage slice", d.ModelName)
+	}
+	if d.Net == nil {
+		return nil, fmt.Errorf("eden: deployment %q has no network to slice", d.ModelName)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("eden: stage index %d of %d out of range", index, count)
+	}
+	full, err := d.CloneNet()
+	if err != nil {
+		return nil, err
+	}
+	shapes := full.BoundaryShapes()
+	sub, err := full.Slice(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	layout, layoutEnd := DataLayout(full, d.Prec, d.ErrorModel.RowBits)
+
+	s := *d // shallow copy of the scalar metadata; maps are replaced below
+	s.Net = sub
+	s.WeightBytes = sub.WeightBytes(d.Prec)
+	s.Stage = &StageInfo{
+		Index:     index,
+		Count:     count,
+		Lo:        lo,
+		Hi:        hi,
+		InDims:    append([]int(nil), shapes[lo]...),
+		OutDims:   append([]int(nil), shapes[hi]...),
+		Layout:    layout,
+		LayoutEnd: layoutEnd,
+	}
+
+	// The stage's share of the per-data metadata: weight IDs of its own
+	// parameters plus IFM IDs of its own top-level layers. Everything else
+	// belongs to other stages.
+	mine := map[string]bool{}
+	for _, p := range sub.Params() {
+		mine[WeightID(p.Name)] = true
+	}
+	for _, l := range sub.Layers {
+		mine[IFMID(l.Name())] = true
+	}
+	s.TolByData = filterByID(d.TolByData, mine)
+	s.Assignment = filterByID(d.Assignment, mine)
+	s.BERByData = filterByID(d.BERByData, mine)
+	s.Bounds = filterByID(d.Bounds, mine)
+	return &s, nil
+}
+
+// filterByID keeps the entries of m whose data ID is in keep, preserving a
+// nil map as nil.
+func filterByID[V any](m map[string]V, keep map[string]bool) map[string]V {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]V, len(keep))
+	for id, v := range m {
+		if keep[id] {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// StageLabel renders a stage's position for logs and health reports, e.g.
+// "stage 1/3 layers [4,9)".
+func (si *StageInfo) StageLabel() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stage %d/%d layers [%d,%d)", si.Index, si.Count, si.Lo, si.Hi)
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package eden
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+// TestDeploymentSliceBitIdentity is the cluster determinism contract in
+// miniature: corrupt-and-forward a request through K pipeline-stage slices
+// of a deployment (each stage corrupting only its own weights and IFMs,
+// exactly as a stage server does) and demand the output is bit-identical to
+// the single-process path for the same seed.
+func TestDeploymentSliceBitIdentity(t *testing.T) {
+	dep := coarseDeployment(t)
+
+	// Single-process reference: one corruptor owns the whole model.
+	full, err := dep.CloneNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCorr := dep.NewCorruptor()
+	refCorr.CorruptWeights(full)
+
+	L := len(full.Layers)
+	if L < 3 {
+		t.Fatalf("LeNet has %d layers; test needs >= 3", L)
+	}
+	rng := tensor.NewRNG(0x51CE)
+	inputs := make([]*tensor.Tensor, 3)
+	for i := range inputs {
+		inputs[i] = tensor.New(1, full.InC, full.InH, full.InW)
+		inputs[i].FillUniform(rng, -1, 1)
+	}
+
+	for _, cuts := range [][]int{{0, L / 2, L}, {0, 1, L - 1, L}} {
+		K := len(cuts) - 1
+		nets := make([]*stageUnderTest, K)
+		for k := 0; k < K; k++ {
+			slice, err := dep.Slice(cuts[k], cuts[k+1], k, K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mimic a stage server's registration: rebuild the stage network
+			// from the artifact and corrupt its weights with its own
+			// corruptor. The pinned layout is what must make this line up.
+			net, err := slice.CloneNet()
+			if err != nil {
+				t.Fatal(err)
+			}
+			corr := slice.NewCorruptor()
+			corr.CorruptWeights(net)
+			nets[k] = &stageUnderTest{net: net, corr: corr}
+		}
+
+		for _, seed := range []uint64{1, 7, 1 << 40} {
+			for i, x := range inputs {
+				want := full.Forward(x.Clone(), false, refCorr.Clone(seed).IFMHook())
+				got := x.Clone()
+				for k := 0; k < K; k++ {
+					got = nets[k].net.Forward(got, false, nets[k].corr.Clone(seed).IFMHook())
+				}
+				if !got.Shape().Equal(want.Shape()) {
+					t.Fatalf("cuts %v seed %d input %d: shape %v != %v",
+						cuts, seed, i, got.Shape(), want.Shape())
+				}
+				for j := range want.Data {
+					if got.Data[j] != want.Data[j] {
+						t.Fatalf("cuts %v seed %d input %d: element %d differs: %v != %v",
+							cuts, seed, i, j, got.Data[j], want.Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+type stageUnderTest struct {
+	net  *dnn.Network
+	corr *SoftwareDRAM
+}
+
+// TestDeploymentSliceMetadata pins the stage artifact's bookkeeping: layer
+// range, boundary shapes, per-data metadata filtered to the stage's own
+// IDs, the full-model layout, and the errors for invalid slicing.
+func TestDeploymentSliceMetadata(t *testing.T) {
+	dep := coarseDeployment(t)
+	L := len(dep.Net.Layers)
+	mid := L / 2
+	s0, err := dep.Slice(0, mid, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := dep.Slice(mid, L, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Stage == nil || s1.Stage == nil {
+		t.Fatal("slices carry no StageInfo")
+	}
+	if s0.Stage.Lo != 0 || s0.Stage.Hi != mid || s1.Stage.Lo != mid || s1.Stage.Hi != L {
+		t.Fatalf("stage ranges [%d,%d) [%d,%d)", s0.Stage.Lo, s0.Stage.Hi, s1.Stage.Lo, s1.Stage.Hi)
+	}
+	// Stage 0's output boundary must be stage 1's input boundary.
+	if len(s0.Stage.OutDims) != len(s1.Stage.InDims) {
+		t.Fatal("boundary rank mismatch between adjacent stages")
+	}
+	for i := range s0.Stage.OutDims {
+		if s0.Stage.OutDims[i] != s1.Stage.InDims[i] {
+			t.Fatalf("boundary dims %v != %v", s0.Stage.OutDims, s1.Stage.InDims)
+		}
+	}
+	// Both stages carry the same full-model layout, covering every data ID.
+	if len(s0.Stage.Layout) != len(s1.Stage.Layout) || s0.Stage.LayoutEnd != s1.Stage.LayoutEnd {
+		t.Fatal("stage layouts diverge")
+	}
+	want := len(EnumerateData(dep.Net, dep.Prec))
+	if len(s0.Stage.Layout) != want {
+		t.Fatalf("layout has %d entries, want %d", len(s0.Stage.Layout), want)
+	}
+	// Bounds split: each stage keeps exactly its own IDs, and together they
+	// partition the full deployment's bounds.
+	if len(s0.Bounds)+len(s1.Bounds) != len(dep.Bounds) {
+		t.Fatalf("bounds split %d+%d != %d", len(s0.Bounds), len(s1.Bounds), len(dep.Bounds))
+	}
+	for id := range s1.Bounds {
+		if _, dup := s0.Bounds[id]; dup {
+			t.Fatalf("bound %s present in both stages", id)
+		}
+	}
+	for _, l := range s0.Net.Layers {
+		if _, ok := s0.Bounds[IFMID(l.Name())]; !ok {
+			t.Fatalf("stage 0 misses bound for its own layer %s", l.Name())
+		}
+	}
+	if strings.HasPrefix(s1.Stage.StageLabel(), "stage 1/2") == false {
+		t.Fatalf("label %q", s1.Stage.StageLabel())
+	}
+	// Slicing a slice, and out-of-range stage indices, must fail.
+	if _, err := s0.Slice(0, 1, 0, 1); err == nil {
+		t.Fatal("re-slicing a stage slice should fail")
+	}
+	if _, err := dep.Slice(0, mid, 2, 2); err == nil {
+		t.Fatal("stage index out of range should fail")
+	}
+}
+
+// TestDeploymentSliceSaveLoad round-trips a stage slice through the
+// artifact serialization and checks the loaded stage rebuilds the sliced
+// architecture with identical state and metadata.
+func TestDeploymentSliceSaveLoad(t *testing.T) {
+	dep := coarseDeployment(t)
+	L := len(dep.Net.Layers)
+	s1, err := dep.Slice(L/2, L, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	loaded, err := LoadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stage == nil || loaded.Stage.Lo != L/2 || loaded.Stage.Hi != L ||
+		loaded.Stage.Index != 1 || loaded.Stage.Count != 2 {
+		t.Fatalf("loaded stage info %+v", loaded.Stage)
+	}
+	if len(loaded.Net.Layers) != L-L/2 {
+		t.Fatalf("loaded stage has %d layers, want %d", len(loaded.Net.Layers), L-L/2)
+	}
+	src, dst := s1.Net.StateTensors(), loaded.Net.StateTensors()
+	if len(src) != len(dst) {
+		t.Fatalf("loaded %d state tensors, want %d", len(dst), len(src))
+	}
+	for i := range src {
+		for j := range src[i].T.Data {
+			if src[i].T.Data[j] != dst[i].T.Data[j] {
+				t.Fatalf("tensor %s element %d differs after round trip", src[i].Name, j)
+			}
+		}
+	}
+	if len(loaded.Stage.Layout) != len(s1.Stage.Layout) {
+		t.Fatal("layout lost in round trip")
+	}
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatal("stage save→load→save not byte-identical")
+	}
+}

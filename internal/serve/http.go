@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // PredictRequest is the JSON body of POST /v1/models/{name}/predict.
@@ -30,10 +32,22 @@ type PredictResponse struct {
 	LatencyMs float64   `json:"latency_ms"`
 }
 
-// HealthResponse is the JSON reply of GET /v1/healthz.
+// HealthResponse is the JSON reply of GET /v1/healthz. Role and Stage let
+// balancers and humans tell shards apart: a standalone server reports
+// "standalone", a pipeline stage reports "stage" plus its position and
+// layer range, a cluster dispatcher reports "dispatcher".
 type HealthResponse struct {
-	Status string `json:"status"`
-	Models int    `json:"models"`
+	Status string       `json:"status"`
+	Models int          `json:"models"`
+	Role   Role         `json:"role"`
+	Stage  *StageHealth `json:"stage,omitempty"`
+}
+
+// StageHealth identifies a stage server in health probes.
+type StageHealth struct {
+	Index  int    `json:"index"`
+	Count  int    `json:"count"`
+	Layers [2]int `json:"layers"`
 }
 
 // NewHandler exposes a Server over HTTP/JSON:
@@ -58,12 +72,21 @@ func NewHandler(s *Server) http.Handler {
 			status = "draining"
 		}
 		n := len(s.models)
+		role := s.role
+		var stage *StageHealth
+		if s.stage != nil {
+			stage = &StageHealth{
+				Index:  s.stage.Index,
+				Count:  s.stage.Count,
+				Layers: [2]int{s.stage.Lo, s.stage.Hi},
+			}
+		}
 		s.mu.RUnlock()
 		code := http.StatusOK
 		if status != "ok" {
 			code = http.StatusServiceUnavailable
 		}
-		writeJSON(w, code, HealthResponse{Status: status, Models: n})
+		writeJSON(w, code, HealthResponse{Status: status, Models: n, Role: role, Stage: stage})
 	})
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
 		models := s.Models()
@@ -114,26 +137,7 @@ func NewHandler(s *Server) http.Handler {
 			defer cancel()
 		}
 		res, err := m.Predict(ctx, req.Input, req.Seed)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			// Structured shed: tell the client when capacity is likely
-			// back, from queue occupancy × smoothed service time.
-			ra := m.RetryAfter()
-			secs := int64((ra + time.Second - 1) / time.Second)
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-			writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error":         err.Error(),
-				"retry_after_s": secs,
-			})
-			return
-		case errors.Is(err, ErrExpired), errors.Is(err, context.DeadlineExceeded):
-			httpError(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
-			return
-		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		case err != nil:
-			httpError(w, http.StatusBadRequest, err.Error())
+		if writePredictError(w, m, err) {
 			return
 		}
 		writeJSON(w, http.StatusOK, PredictResponse{
@@ -144,7 +148,79 @@ func NewHandler(s *Server) http.Handler {
 			LatencyMs: float64(res.Latency.Microseconds()) / 1000,
 		})
 	})
+	mux.HandleFunc("POST /v1/models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
+		// The stage wire: one binary activation frame in, one out. The
+		// dispatcher streams boundary activations stage-to-stage through
+		// this endpoint; floats travel as exact bit patterns, so the
+		// determinism contract survives the hop. A deadline rides in the
+		// X-Deadline-Ms header since the body is not JSON.
+		name := r.PathValue("name")
+		m, ok := s.Model(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown model "+name)
+			return
+		}
+		maxElems := 1
+		for _, d := range m.inDims {
+			maxElems *= d
+		}
+		maxBody := int64(4*maxElems) + 128
+		x, seed, err := DecodeActivation(http.MaxBytesReader(w, r.Body, maxBody), maxElems)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad activation frame: "+err.Error())
+			return
+		}
+		ctx := r.Context()
+		if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+			ms, err := strconv.ParseInt(h, 10, 64)
+			if err != nil || ms <= 0 {
+				httpError(w, http.StatusBadRequest, "bad X-Deadline-Ms header")
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := m.PredictActivation(ctx, x, seed)
+		if writePredictError(w, m, err) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		out := tensor.FromSlice(res.Output, res.Dims...)
+		_ = EncodeActivation(w, out, seed)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, s.Models())
+	})
 	return mux
+}
+
+// writePredictError maps a Predict/PredictActivation error onto the HTTP
+// reply — 429 with Retry-After for shed admissions, 504 for deadlines, 503
+// at shutdown — and reports whether it wrote one.
+func writePredictError(w http.ResponseWriter, m *Model, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrQueueFull):
+		// Structured shed: tell the client when capacity is likely
+		// back, from queue occupancy × smoothed service time.
+		ra := m.RetryAfter()
+		secs := int64((ra + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":         err.Error(),
+			"retry_after_s": secs,
+		})
+	case errors.Is(err, ErrExpired), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded: "+err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteMetrics renders the serving statistics of the given models in the
+// Prometheus text exposition format (one # HELP/# TYPE block per metric,
+// one sample per model), fed entirely by the existing Stats rings — no
+// collection machinery of its own. Callers pass Server.Models(), which is
+// name-sorted, so the output is deterministic for a given state; GET
+// /metrics serves it, giving the cluster dispatcher a per-stage scrape
+// target.
+func WriteMetrics(w io.Writer, models []*Model) {
+	snaps := make([]Snapshot, len(models))
+	for i, m := range models {
+		snaps[i] = m.Stats()
+	}
+
+	counter := func(name, help string, value func(Snapshot) uint64) {
+		_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i, m := range models {
+			_, _ = fmt.Fprintf(w, "%s{model=%q} %d\n", name, m.Name(), value(snaps[i]))
+		}
+	}
+	gauge := func(name, help string, value func(Snapshot) float64) {
+		_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for i, m := range models {
+			_, _ = fmt.Fprintf(w, "%s{model=%q} %s\n", name, m.Name(),
+				strconv.FormatFloat(value(snaps[i]), 'g', -1, 64))
+		}
+	}
+
+	counter("serve_requests_total", "Requests served.",
+		func(s Snapshot) uint64 { return s.Requests })
+	counter("serve_batches_total", "Micro-batches dispatched.",
+		func(s Snapshot) uint64 { return s.Batches })
+	counter("serve_shed_total", "Admissions refused on a full queue.",
+		func(s Snapshot) uint64 { return s.Shed })
+	counter("serve_expired_total", "Queued requests dropped past their deadline.",
+		func(s Snapshot) uint64 { return s.Expired })
+	gauge("serve_qps", "Requests per second over the serving window.",
+		func(s Snapshot) float64 { return s.QPS })
+	gauge("serve_busy_fraction", "Fraction of the serving window spent computing.",
+		func(s Snapshot) float64 { return s.BusyFrac })
+	gauge("serve_mean_batch", "Mean dispatched batch size.",
+		func(s Snapshot) float64 { return s.MeanBatch })
+	gauge("serve_service_ms_estimate", "Smoothed per-request service time in milliseconds.",
+		func(s Snapshot) float64 { return s.ServiceMsEst })
+	gauge("serve_queue_depth", "Admission queue occupancy.",
+		func(s Snapshot) float64 { return float64(s.QueueDepth) })
+	gauge("serve_queue_capacity", "Admission queue capacity.",
+		func(s Snapshot) float64 { return float64(s.QueueCap) })
+
+	// Request latency quantiles from the ring, rendered as a Prometheus
+	// summary (quantile label, seconds).
+	_, _ = fmt.Fprintf(w, "# HELP serve_latency_seconds Request latency (queue wait plus compute).\n# TYPE serve_latency_seconds summary\n")
+	for i, m := range models {
+		_, _ = fmt.Fprintf(w, "serve_latency_seconds{model=%q,quantile=\"0.5\"} %s\n", m.Name(),
+			strconv.FormatFloat(snaps[i].P50Ms/1e3, 'g', -1, 64))
+		_, _ = fmt.Fprintf(w, "serve_latency_seconds{model=%q,quantile=\"0.99\"} %s\n", m.Name(),
+			strconv.FormatFloat(snaps[i].P99Ms/1e3, 'g', -1, 64))
+	}
+
+	// Batch-size histogram with cumulative buckets, as Prometheus expects:
+	// bucket le="k" counts batches of size ≤ k.
+	_, _ = fmt.Fprintf(w, "# HELP serve_batch_size Dispatched micro-batch sizes.\n# TYPE serve_batch_size histogram\n")
+	for i, m := range models {
+		cum := uint64(0)
+		sum := uint64(0)
+		for k := 1; k < len(snaps[i].BatchHist); k++ {
+			cum += snaps[i].BatchHist[k]
+			sum += uint64(k) * snaps[i].BatchHist[k]
+			_, _ = fmt.Fprintf(w, "serve_batch_size_bucket{model=%q,le=\"%d\"} %d\n", m.Name(), k, cum)
+		}
+		_, _ = fmt.Fprintf(w, "serve_batch_size_bucket{model=%q,le=\"+Inf\"} %d\n", m.Name(), cum)
+		_, _ = fmt.Fprintf(w, "serve_batch_size_sum{model=%q} %d\n", m.Name(), sum)
+		_, _ = fmt.Fprintf(w, "serve_batch_size_count{model=%q} %d\n", m.Name(), cum)
+	}
+}

@@ -119,6 +119,17 @@ type ModelConfig struct {
 	Backend compute.Backend
 }
 
+// Role names what a serving process is in a deployment topology: a
+// standalone server owning whole models, a pipeline stage owning a layer
+// range of one model, or a cluster dispatcher fronting stages.
+type Role string
+
+const (
+	RoleStandalone Role = "standalone"
+	RoleStage      Role = "stage"
+	RoleDispatcher Role = "dispatcher"
+)
+
 // Server owns the model registry and the scheduler configuration shared by
 // all models registered on it.
 type Server struct {
@@ -126,17 +137,40 @@ type Server struct {
 	mu       sync.RWMutex
 	models   map[string]*Model
 	reserved map[string]bool
+	role     Role
+	stage    *eden.StageInfo // set by the first DeployStage
 	draining bool
 	closed   bool
 }
 
 // New builds an empty server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), models: map[string]*Model{}, reserved: map[string]bool{}}
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		models:   map[string]*Model{},
+		reserved: map[string]bool{},
+		role:     RoleStandalone,
+	}
 }
 
 // Config returns the scheduler configuration (defaults applied).
 func (s *Server) Config() Config { return s.cfg }
+
+// Role reports what this server is in the deployment topology. A fresh
+// server is standalone; the first DeployStage turns it into a stage.
+func (s *Server) Role() Role {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.role
+}
+
+// StageInfo returns the pipeline-stage identity of a stage server (nil for
+// standalone servers).
+func (s *Server) StageInfo() *eden.StageInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stage
+}
 
 // reserve claims a model name before the expensive build starts, so
 // concurrent registrations of the same name fail fast instead of training a
@@ -186,6 +220,7 @@ func (s *Server) newModel(name string, spec dnn.ModelSpec, net *dnn.Network) *Mo
 		spec:     spec,
 		net:      net,
 		inputLen: net.InC * net.InH * net.InW,
+		inDims:   []int{1, net.InC, net.InH, net.InW},
 		queue:    make(chan *pending, s.cfg.QueueDepth),
 		batches:  make(chan []*pending),
 		quit:     make(chan struct{}),
@@ -261,6 +296,9 @@ func (s *Server) Deploy(dep *eden.Deployment, opts ...DeployOption) (*Model, err
 	if dep == nil {
 		return nil, fmt.Errorf("serve: nil deployment")
 	}
+	if dep.Stage != nil {
+		return nil, fmt.Errorf("serve: deployment %q is a pipeline-stage slice; use DeployStage", dep.ModelName)
+	}
 	if err := s.reserve(dep.ModelName); err != nil {
 		return nil, err
 	}
@@ -290,6 +328,60 @@ func (s *Server) Deploy(dep *eden.Deployment, opts ...DeployOption) (*Model, err
 	if err := s.commit(m); err != nil {
 		return nil, err
 	}
+	return m, nil
+}
+
+// DeployStage registers a pipeline-stage slice of a deployment (produced
+// by eden.Deployment.Slice) and marks the server as a stage. The stage
+// serves raw activation tensors through PredictActivation — surfaced over
+// HTTP as POST /v1/models/{name}/infer — corrupting only its own layer
+// range; the pinned full-model DRAM layout carried by the slice keeps its
+// error draws bit-identical to single-process serving. Scheduling is the
+// same continuous-batching machinery as whole-model serving (activations
+// fan out per sample, one corruptor clone per request seed).
+func (s *Server) DeployStage(dep *eden.Deployment, opts ...DeployOption) (*Model, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("serve: nil deployment")
+	}
+	if dep.Stage == nil {
+		return nil, fmt.Errorf("serve: deployment %q is not a stage slice; use Deploy", dep.ModelName)
+	}
+	if err := s.reserve(dep.ModelName); err != nil {
+		return nil, err
+	}
+	spec, err := dnn.LookupSpec(dep.ModelName)
+	if err != nil {
+		s.release(dep.ModelName)
+		return nil, err
+	}
+	net, err := dep.CloneNet()
+	if err != nil {
+		s.release(dep.ModelName)
+		return nil, err
+	}
+	m := s.newModel(dep.ModelName, spec, net)
+	m.prec = dep.Prec
+	m.ber = dep.ServingBER
+	m.dep = dep
+	m.stage = dep.Stage
+	m.inDims = append([]int(nil), dep.Stage.InDims...)
+	for _, opt := range opts {
+		opt(m)
+	}
+	corr := dep.NewCorruptor()
+	// Static weight image for this stage's share of the parameters.
+	corr.CorruptWeights(net)
+	m.pool = eden.NewClonePool(corr)
+	m.pool.Prewarm(s.cfg.MaxBatch)
+	if err := s.commit(m); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.role = RoleStage
+	if s.stage == nil {
+		s.stage = dep.Stage
+	}
+	s.mu.Unlock()
 	return m, nil
 }
 
@@ -356,12 +448,18 @@ type Model struct {
 	spec     dnn.ModelSpec
 	net      *dnn.Network
 	inputLen int
-	pool     *eden.ClonePool
-	dep      *eden.Deployment
-	queue    chan *pending   // bounded admission queue, fed by Predict
-	batches  chan []*pending // unbuffered collector→dispatcher hand-off
-	quit     chan struct{}
-	stats    *Stats
+	// inDims is the exact activation shape PredictActivation accepts
+	// (leading batch dimension 1); stage registrations pin it to the slice's
+	// input boundary, whole-model ones to (1, InC, InH, InW).
+	inDims []int
+	// stage is non-nil for pipeline-stage registrations (DeployStage).
+	stage   *eden.StageInfo
+	pool    *eden.ClonePool
+	dep     *eden.Deployment
+	queue   chan *pending   // bounded admission queue, fed by Predict
+	batches chan []*pending // unbuffered collector→dispatcher hand-off
+	quit    chan struct{}
+	stats   *Stats
 }
 
 // Result is one served prediction.
@@ -375,6 +473,9 @@ type Result struct {
 	BatchSize int
 	// Latency is queue wait plus compute, measured from enqueue.
 	Latency time.Duration
+	// Dims is the shape of Output as the network produced it; activation
+	// relays (the cluster dispatcher) re-encode the tensor from it.
+	Dims []int
 }
 
 type outcome struct {
@@ -437,6 +538,20 @@ type Info struct {
 	WeightBytes int     `json:"weight_bytes"`
 	InputDims   [3]int  `json:"input_dims"`
 	OutputLen   int     `json:"output_len"`
+	// Stage identifies a pipeline-stage registration; the cluster
+	// dispatcher discovers boundary shapes and stage positions from it.
+	Stage *StageSummary `json:"stage,omitempty"`
+}
+
+// StageSummary is the wire-facing digest of a stage registration: position
+// in the pipeline, layer range, and the exact boundary shapes the stage
+// accepts and produces.
+type StageSummary struct {
+	Index   int    `json:"index"`
+	Count   int    `json:"count"`
+	Layers  [2]int `json:"layers"`
+	InDims  []int  `json:"in_dims"`
+	OutDims []int  `json:"out_dims"`
 }
 
 // Info returns the model's deployment metadata. WeightBytes is the
@@ -448,7 +563,7 @@ func (m *Model) Info() Info {
 		task = "detect"
 		outLen = m.net.Det.OutputSize()
 	}
-	return Info{
+	info := Info{
 		Name:        m.name,
 		Task:        task,
 		Precision:   m.prec.String(),
@@ -459,6 +574,23 @@ func (m *Model) Info() Info {
 		InputDims:   [3]int{m.net.InC, m.net.InH, m.net.InW},
 		OutputLen:   outLen,
 	}
+	if m.stage != nil {
+		// A stage's output is its boundary activation, whatever the full
+		// model's head would produce.
+		outLen = 1
+		for _, d := range m.stage.OutDims[1:] {
+			outLen *= d
+		}
+		info.OutputLen = outLen
+		info.Stage = &StageSummary{
+			Index:   m.stage.Index,
+			Count:   m.stage.Count,
+			Layers:  [2]int{m.stage.Lo, m.stage.Hi},
+			InDims:  append([]int(nil), m.stage.InDims...),
+			OutDims: append([]int(nil), m.stage.OutDims...),
+		}
+	}
+	return info
 }
 
 // Deployment returns the eden artifact the model was registered from, or
@@ -544,6 +676,33 @@ func (m *Model) Predict(ctx context.Context, input []float32, seed uint64) (Resu
 		return Result{}, err
 	}
 	x := tensor.FromSlice(append([]float32(nil), input...), 1, m.net.InC, m.net.InH, m.net.InW)
+	return m.submit(ctx, x, seed)
+}
+
+// PredictActivation admits one raw activation tensor — the stage-serving
+// entry point, fed by the dispatcher over the binary wire format. x must
+// match the model's input boundary shape exactly (leading batch dimension
+// 1) and is owned by the scheduler from this call on. Admission, deadlines
+// and shedding behave exactly as in Predict.
+func (m *Model) PredictActivation(ctx context.Context, x *tensor.Tensor, seed uint64) (Result, error) {
+	shape := x.Shape()
+	if len(shape) != len(m.inDims) {
+		return Result{}, fmt.Errorf("serve: activation rank %d, want %d", len(shape), len(m.inDims))
+	}
+	for i, d := range m.inDims {
+		if shape[i] != d {
+			return Result{}, fmt.Errorf("serve: activation dims %v, want %v", []int(shape), m.inDims)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return m.submit(ctx, x, seed)
+}
+
+// submit enqueues one prepared request tensor and blocks until its
+// micro-batch is served — the shared tail of Predict and PredictActivation.
+func (m *Model) submit(ctx context.Context, x *tensor.Tensor, seed uint64) (Result, error) {
 	deadline, _ := ctx.Deadline()
 	p := &pending{x: x, seed: seed, enq: time.Now(), deadline: deadline, out: make(chan outcome, 1)}
 	select {
@@ -791,8 +950,11 @@ func (m *Model) dispatch(batch []*pending) {
 			ArgMax:    -1,
 			BatchSize: len(batch),
 			Latency:   end.Sub(p.enq),
+			Dims:      append([]int(nil), outs[i].Shape()...),
 		}
-		if m.spec.Task != dnn.Detect {
+		// Stages serve activations, not predictions — the dispatcher
+		// interprets the final stage's output.
+		if m.spec.Task != dnn.Detect && m.stage == nil {
 			res.ArgMax = outs[i].ArgMax()
 		}
 		lats[i] = res.Latency

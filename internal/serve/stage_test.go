@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestEncodeDecodeActivation pins the wire codec: exact bit round trips
+// (including NaN payloads and denormals), seed carriage, and the guards
+// against hostile frames.
+func TestEncodeDecodeActivation(t *testing.T) {
+	data := []float32{0, 1, -1, 1e-42, float32(1.0 / 3.0)}
+	x := tensor.FromSlice(append([]float32(nil), data...), 1, 5)
+	var buf bytes.Buffer
+	if err := EncodeActivation(&buf, x, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	got, seed, err := DecodeActivation(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 0xFEED {
+		t.Fatalf("seed %x", seed)
+	}
+	if !got.Shape().Equal(x.Shape()) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	for i := range data {
+		if got.Data[i] != data[i] {
+			t.Fatalf("element %d: %v != %v", i, got.Data[i], data[i])
+		}
+	}
+
+	// Encode→decode→encode is byte-identical.
+	var again bytes.Buffer
+	if err := EncodeActivation(&again, got, seed); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := EncodeActivation(&first, x, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("codec round trip not byte-identical")
+	}
+
+	// Guards: bad magic, oversized element count, truncated payload.
+	if _, _, err := DecodeActivation(strings.NewReader("NOTAFRAME........................"), 10); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var big bytes.Buffer
+	if err := EncodeActivation(&big, tensor.FromSlice(make([]float32, 64), 1, 64), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeActivation(&big, 16); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	var trunc bytes.Buffer
+	if err := EncodeActivation(&trunc, x, 1); err != nil {
+		t.Fatal(err)
+	}
+	cut := trunc.Bytes()[:trunc.Len()-3]
+	if _, _, err := DecodeActivation(bytes.NewReader(cut), 5); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// TestStageServing deploys a stage slice and drives it over HTTP: the
+// healthz role report, the stage-aware model info, the binary /infer round
+// trip (bit-identical to forwarding the slice in process), and the
+// rejection of whole-model artifacts on the wrong path.
+func TestStageServing(t *testing.T) {
+	dep := testDeployment(t)
+	L := len(dep.Net.Layers)
+	slice0, err := dep.Slice(0, L/2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A stage slice must not pass the whole-model path, and vice versa.
+	if _, err := New(Config{}).Deploy(slice0); err == nil {
+		t.Fatal("Deploy accepted a stage slice")
+	}
+	if _, err := New(Config{}).DeployStage(dep); err == nil {
+		t.Fatal("DeployStage accepted a whole-model artifact")
+	}
+
+	srv := New(Config{MaxBatch: 4})
+	m, err := srv.DeployStage(slice0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Role() != RoleStage {
+		t.Fatalf("role %q", srv.Role())
+	}
+	ts := httptest.NewServer(NewHandler(srv))
+	defer ts.Close()
+
+	// healthz carries the stage identity.
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Role != RoleStage || health.Stage == nil ||
+		health.Stage.Index != 0 || health.Stage.Count != 2 || health.Stage.Layers != [2]int{0, L / 2} {
+		t.Fatalf("stage healthz %+v", health)
+	}
+
+	// Model info reports the stage summary and boundary-sized output.
+	info := m.Info()
+	if info.Stage == nil || info.Stage.Layers != [2]int{0, L / 2} {
+		t.Fatalf("info stage %+v", info.Stage)
+	}
+	wantOut := 1
+	for _, d := range slice0.Stage.OutDims[1:] {
+		wantOut *= d
+	}
+	if info.OutputLen != wantOut {
+		t.Fatalf("stage output len %d, want %d", info.OutputLen, wantOut)
+	}
+
+	// In-process reference: the slice's corrupted forward for this seed.
+	net, err := slice0.CloneNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := slice0.NewCorruptor()
+	corr.CorruptWeights(net)
+	rng := tensor.NewRNG(0x57A6)
+	x := tensor.New(slice0.Stage.InDims...)
+	x.FillUniform(rng, -1, 1)
+	const seed = 99
+	want := net.Forward(x.Clone(), false, corr.Clone(seed).IFMHook())
+
+	// The same activation over the binary wire.
+	var frame bytes.Buffer
+	if err := EncodeActivation(&frame, x, seed); err != nil {
+		t.Fatal(err)
+	}
+	post, err := ts.Client().Post(ts.URL+"/v1/models/LeNet/infer", "application/octet-stream", &frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(post.Body)
+		t.Fatalf("infer status %d: %s", post.StatusCode, body)
+	}
+	maxElems := 1
+	for _, d := range slice0.Stage.OutDims {
+		maxElems *= d
+	}
+	out, echoSeed, err := DecodeActivation(post.Body, maxElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoSeed != seed {
+		t.Fatalf("echoed seed %d", echoSeed)
+	}
+	if !out.Shape().Equal(want.Shape()) {
+		t.Fatalf("output shape %v, want %v", out.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if out.Data[i] != want.Data[i] {
+			t.Fatalf("element %d differs over the wire: %v != %v", i, out.Data[i], want.Data[i])
+		}
+	}
+
+	// Wrong-shaped activations are rejected, not computed.
+	badShape := tensor.New(1, 3, 3)
+	var badFrame bytes.Buffer
+	if err := EncodeActivation(&badFrame, badShape, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := ts.Client().Post(ts.URL+"/v1/models/LeNet/infer", "application/octet-stream", &badFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shape status %d", bad.StatusCode)
+	}
+
+	// PredictActivation validates dims directly too.
+	if _, err := m.PredictActivation(context.Background(), badShape, 1); err == nil {
+		t.Fatal("PredictActivation accepted wrong dims")
+	}
+}
+
+// TestMetricsEndpoint drives a few predictions and checks the Prometheus
+// exposition: counters present and consistent with the stats snapshot,
+// histogram buckets cumulative.
+func TestMetricsEndpoint(t *testing.T) {
+	dep := testDeployment(t)
+	srv := New(Config{MaxBatch: 4})
+	m, err := srv.Deploy(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(NewHandler(srv))
+	defer ts.Close()
+
+	inputs := testInputs(t, "LeNet", 6)
+	for i, in := range inputs {
+		if _, err := m.Predict(context.Background(), in, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`serve_requests_total{model="LeNet"} 6`,
+		`# TYPE serve_requests_total counter`,
+		`# TYPE serve_qps gauge`,
+		`serve_latency_seconds{model="LeNet",quantile="0.5"}`,
+		`serve_batch_size_bucket{model="LeNet",le="+Inf"}`,
+		`serve_queue_capacity{model="LeNet"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// The +Inf bucket equals the batch count reported by the snapshot.
+	snap := m.Stats()
+	if !strings.Contains(text, `serve_batch_size_count{model="LeNet"} `+itoa(snap.Batches)) {
+		t.Fatalf("batch count mismatch with snapshot %d in:\n%s", snap.Batches, text)
+	}
+}
+
+// itoa renders a uint64 without pulling strconv into the assertion noise.
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
