@@ -27,7 +27,7 @@ bench:
 # deliberately as that trajectory's per-PR data points (numbers are
 # host-specific; CI regenerates and prints its own run).
 bench-json:
-	$(GO) run ./examples/serving -duration 3s -json BENCH_pr9.json
+	$(GO) run ./examples/serving -duration 3s -json BENCH_pr10.json
 
 # bench-compare gates the freshly generated benchmark against the previous
 # PR's committed record: any throughput metric more than 10% below the old
@@ -36,7 +36,7 @@ bench-json:
 # runs this as an advisory (continue-on-error) step after regenerating the
 # new file itself.
 bench-compare:
-	$(GO) run ./cmd/bench-compare -tolerance 0.10 BENCH_pr7.json BENCH_pr9.json
+	$(GO) run ./cmd/bench-compare -tolerance 0.10 BENCH_pr9.json BENCH_pr10.json
 
 # cluster-smoke stands up the sharded-serving fleet for real — two
 # `serve -role stage` processes plus a `serve -role dispatcher`, launched

@@ -41,6 +41,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -129,23 +130,31 @@ func main() {
 	}
 	perBackend := map[string]backendResult{}
 	det := floatsEqual(outFlag, outSingle)
+	_, flagQuant := flagBackend.(compute.QuantBackend)
+	spsByBackend := forwardBatchSweep(tm, 16, *duration/2)
 	for _, bn := range compute.Names() {
 		bk, err := compute.ByName(bn)
 		if err != nil {
 			log.Fatal(err)
 		}
 		qps := qpsFlag
+		out := outFlag
 		if bn != flagBackend.Name() {
-			var out []float32
 			qps, out = loadTest(name, registerOn(bk), cfg, *concurrency, *duration, inputs)
-			det = det && floatsEqual(out, outSingle)
+			// Float backends are bit-identical to each other; the quantized
+			// backend has its own numeric contract, so it is instead held
+			// bit-identical to its own single-request serving output —
+			// batching, fusion and fan-out must be invisible either way.
+			if _, q := bk.(compute.QuantBackend); q == flagQuant {
+				det = det && floatsEqual(out, outSingle)
+			} else {
+				solo := probeOnce(name, registerOn(bk), cfgSingle, inputs)
+				det = det && floatsEqual(out, solo)
+			}
 		}
-		tm.Net.SetBackend(bk)
-		sps := forwardBatchSPS(tm, 16, *duration/2)
-		tm.Net.SetBackend(nil)
-		perBackend[bn] = backendResult{QPSBatch16: qps, ForwardBatchSPS: sps}
+		perBackend[bn] = backendResult{QPSBatch16: qps, ForwardBatchSPS: spsByBackend[bn]}
 		fmt.Printf("batched QPS       (MaxBatch=16, %2d clients, %4s): %8.1f   raw ForwardBatch: %8.1f samples/s\n",
-			*concurrency, bn, qps, sps)
+			*concurrency, bn, qps, spsByBackend[bn])
 	}
 	fmt.Printf("batch-16 over single-request: %.3fx\n", qpsFlag/qpsSingle)
 	ref, gemm := perBackend["ref"], perBackend["gemm"]
@@ -154,6 +163,38 @@ func main() {
 		fmt.Printf("gemm over ref: %.2fx ForwardBatch, %.2fx serve QPS\n",
 			gemm.ForwardBatchSPS/ref.ForwardBatchSPS, gemm.QPSBatch16/ref.QPSBatch16)
 	}
+	if qg, ok := perBackend["qgemm"]; ok && gemm.ForwardBatchSPS > 0 {
+		fmt.Printf("qgemm over gemm: %.2fx ForwardBatch, %.2fx serve QPS\n",
+			qg.ForwardBatchSPS/gemm.ForwardBatchSPS, qg.QPSBatch16/gemm.QPSBatch16)
+	}
+
+	// Phase 2b: the quantized backend across storage precisions. The int8
+	// and int4 artifacts exercise the adopted weight-image fast path at two
+	// code widths (int4 images decode through the same int8 kernels).
+	qgemmPrec := map[string]float64{}
+	if qbk, err := compute.ByName("qgemm"); err == nil {
+		for _, pp := range []quant.Precision{quant.Int8, quant.Int4} {
+			qps, _ := loadTest(name, func(s *serve.Server) error {
+				_, err := s.Register(name, serve.ModelConfig{Prec: pp, BER: *ber, Backend: qbk})
+				return err
+			}, cfg, *concurrency, *duration/2, inputs)
+			key := "int8_qps"
+			if pp == quant.Int4 {
+				key = "int4_qps"
+			}
+			qgemmPrec[key] = qps
+			fmt.Printf("qgemm precision   (MaxBatch=16, %2d clients, %4s): %8.1f QPS\n",
+				*concurrency, pp, qps)
+		}
+	}
+
+	// Phase 2c: Conv2DBackward lowering. Training-shaped gradients on a
+	// mid-sized conv, ref's direct sweeps vs the im2col lowering; the
+	// recorded speedup is the acceptance number for the lowered backward.
+	bwRef := convBackwardMS(compute.Ref, *duration/2)
+	bwGemm := convBackwardMS(compute.Gemm, *duration/2)
+	fmt.Printf("conv backward     (ref %7.2f ms, gemm %7.2f ms): %.2fx\n",
+		bwRef, bwGemm, bwRef/bwGemm)
 
 	// Phase 3: deployment-artifact path. Run the pipeline once on LeNet
 	// (boosting skipped for speed), serve the artifact through
@@ -190,13 +231,20 @@ func main() {
 
 	// Phase 3c: worker-count scaling. The closed-loop phases above all run
 	// at the flag worker count; here raw ForwardBatch throughput is swept at
-	// 1/2/4 workers so regressions off the scaling curve show up in the
+	// 1/2/4/8 workers so regressions off the scaling curve show up in the
 	// recorded trajectory rather than hiding behind a fixed pool size.
+	// SetWorkers raises GOMAXPROCS when asked for more workers than the
+	// runtime detected, so container CPU quotas don't silently serialize
+	// the sweep; num_cpu is recorded alongside, because on a host with
+	// fewer physical cores than workers the curve is expected to flatten
+	// at the core count, not at the worker count.
 	workerScaling := map[string]float64{}
-	for _, n := range []int{1, 2, 4} {
+	for _, n := range []int{1, 2, 4, 8} {
 		parallel.SetWorkers(n)
 		tm.Net.SetBackend(flagBackend)
+		adoptImages(tm.Net, flagBackend)
 		sps := forwardBatchSPS(tm, 16, *duration/2)
+		tm.Net.AdoptQuantizedWeights(quant.FP32)
 		tm.Net.SetBackend(nil)
 		workerScaling[fmt.Sprintf("w%d_sps", n)] = sps
 		fmt.Printf("worker scaling    (ForwardBatch, %d worker(s), %4s): %8.1f samples/s\n",
@@ -236,11 +284,18 @@ func main() {
 			"precision":          prec.String(),
 			"ber":                *ber,
 			"workers":            parallel.Workers(),
+			"num_cpu":            runtime.NumCPU(),
 			"backends":           perBackend,
+			"qgemm_precision":    qgemmPrec,
 			"qps_single":         qpsSingle,
 			"qps_deploy_batch16": qpsDeploy,
 			"qps_cluster_k2":     qpsCluster,
 			"worker_scaling":     workerScaling,
+			"conv_backward": map[string]float64{
+				"ref_ms":       bwRef,
+				"gemm_ms":      bwGemm,
+				"gemm_speedup": bwRef / bwGemm,
+			},
 			"deploy_model":       "LeNet",
 			"deploy_serving_ber": dep.ServingBER,
 			"determinism_ok":     det,
@@ -427,6 +482,52 @@ func loadTest(model string, register func(*serve.Server) error, cfg serve.Config
 		log.Fatal(err)
 	}
 	return qps, probe
+}
+
+// probeOnce stands up a server with cfg, issues the single fixed probe
+// request (seed 424242, inputs[0]) and returns its output — no load window.
+// Used to pin a backend's batched serving bits against its own unbatched
+// bits when it cannot be compared against the float reference.
+func probeOnce(model string, register func(*serve.Server) error, cfg serve.Config, inputs [][]float32) []float32 {
+	s := serve.New(cfg)
+	defer s.Close()
+	if err := register(s); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: serve.NewHandler(s)}
+	go hs.Serve(ln)
+	defer hs.Close()
+	out, err := predict(http.DefaultClient, "http://"+ln.Addr().String(), model, inputs[0], 424242)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+// convBackwardMS times one Conv2DBackward call on a training-shaped conv
+// layer (batch 8, 32→64 channels, 3×3 on 28×28), repeated over roughly the
+// window, and returns the mean per-call milliseconds.
+func convBackwardMS(bk compute.Backend, window time.Duration) float64 {
+	rng := tensor.NewRNG(0xBAC)
+	in := tensor.New(8, 32, 28, 28)
+	in.FillUniform(rng, -1, 1)
+	w := tensor.New(64, 32, 3, 3)
+	w.FillUniform(rng, -1, 1)
+	p := tensor.Conv2DParams{Stride: 1, Padding: 1}
+	out := bk.Conv2D(in, w, nil, p)
+	dOut := out.Clone()
+	bk.Conv2DBackward(in, w, true, dOut, p) // warm
+	calls := 0
+	start := time.Now()
+	for time.Since(start) < window {
+		bk.Conv2DBackward(in, w, true, dOut, p)
+		calls++
+	}
+	return time.Since(start).Seconds() * 1000 / float64(calls)
 }
 
 // clusterLoadTest serves the artifact as a two-stage pipeline — the DP
@@ -626,6 +727,74 @@ func predictStatus(client *http.Client, base, model string, input []float32, see
 	var pr serve.PredictResponse
 	_ = json.NewDecoder(resp.Body).Decode(&pr)
 	return resp.StatusCode
+}
+
+// adoptImages installs int8 weight-code images on the network when the
+// backend consumes them, mirroring what serve.Register does for a deployed
+// model — the raw ForwardBatch numbers then measure each backend in its
+// serving configuration. No-op for float backends. Callers clear the images
+// afterwards with AdoptQuantizedWeights(quant.FP32).
+func adoptImages(net *dnn.Network, bk compute.Backend) {
+	if _, ok := bk.(compute.QuantBackend); ok {
+		net.AdoptQuantizedWeights(quant.Int8)
+	}
+}
+
+// forwardBatchSweep measures raw ForwardBatch samples/sec for every
+// registered backend, each in its serving configuration (quantized backends
+// run on adopted int8 weight images, like a deployed model). The backends
+// are measured in interleaved rotation slices — forward order on even
+// rounds, reversed on odd — so slow host-level throughput drift lands on
+// every backend equally and the cross-backend ratios stay meaningful; each
+// backend accumulates roughly `window` of measured time. Setup (backend
+// install, image adoption, a warm pass) happens outside the timed region.
+func forwardBatchSweep(tm *dnn.TrainedModel, batch int, window time.Duration) map[string]float64 {
+	names := compute.Names()
+	rng := tensor.NewRNG(0xF0)
+	xs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		xs[i] = tensor.New(1, tm.Net.InC, tm.Net.InH, tm.Net.InW)
+		xs[i].FillUniform(rng, -1, 1)
+	}
+	type state struct {
+		samples int
+		busy    time.Duration
+	}
+	states := make([]state, len(names))
+	const rounds = 4
+	slice := func(bi int) {
+		bk, err := compute.ByName(names[bi])
+		if err != nil {
+			log.Fatal(err)
+		}
+		tm.Net.SetBackend(bk)
+		adoptImages(tm.Net, bk)
+		tm.Net.ForwardBatch(xs, dnn.BatchOptions{}) // warm
+		start := time.Now()
+		for time.Since(start) < window/rounds {
+			tm.Net.ForwardBatch(xs, dnn.BatchOptions{})
+			states[bi].samples += batch
+		}
+		states[bi].busy += time.Since(start)
+		tm.Net.AdoptQuantizedWeights(quant.FP32)
+		tm.Net.SetBackend(nil)
+	}
+	for r := 0; r < rounds; r++ {
+		if r%2 == 0 {
+			for i := range names {
+				slice(i)
+			}
+		} else {
+			for i := len(names) - 1; i >= 0; i-- {
+				slice(i)
+			}
+		}
+	}
+	out := make(map[string]float64, len(names))
+	for i, bn := range names {
+		out[bn] = float64(states[i].samples) / states[i].busy.Seconds()
+	}
+	return out
 }
 
 // forwardBatchSPS measures raw ForwardBatch samples/sec at the given batch

@@ -30,3 +30,53 @@ func getScratch(n int) *[]float32 {
 func putScratch(s *[]float32) {
 	scratchPool.Put(s)
 }
+
+// The integer backend stages quantized activations and patch matrices in
+// int8 slabs and accumulates into int32 slabs; both recycle exactly like the
+// float arena above (one goroutine per checkout, contents unspecified).
+var scratchPoolI8 = sync.Pool{New: func() any { return new([]int8) }}
+
+func getScratchI8(n int) *[]int8 {
+	s := scratchPoolI8.Get().(*[]int8)
+	if cap(*s) < n {
+		*s = make([]int8, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+func putScratchI8(s *[]int8) {
+	scratchPoolI8.Put(s)
+}
+
+var scratchPoolI32 = sync.Pool{New: func() any { return new([]int32) }}
+
+func getScratchI32(n int) *[]int32 {
+	s := scratchPoolI32.Get().(*[]int32)
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+func putScratchI32(s *[]int32) {
+	scratchPoolI32.Put(s)
+}
+
+// The packed dual-lane kernels (see qgemm.go) accumulate two unsigned
+// 32-bit lanes per uint64.
+var scratchPoolU64 = sync.Pool{New: func() any { return new([]uint64) }}
+
+func getScratchU64(n int) *[]uint64 {
+	s := scratchPoolU64.Get().(*[]uint64)
+	if cap(*s) < n {
+		*s = make([]uint64, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+func putScratchU64(s *[]uint64) {
+	scratchPoolU64.Put(s)
+}

@@ -1,22 +1,38 @@
 // Package compute is the repository's pluggable compute-kernel layer. The
 // four kernels every forward and backward pass bottoms out in — MatMul,
 // MatMulTransB, Conv2D and Conv2DBackward — live behind the Backend
-// interface, with two implementations:
+// interface, with three implementations:
 //
 //   - Ref: the direct loops (row-blocked MatMul, per-output-plane direct
 //     convolution), the repository's original kernels and the semantic
 //     reference every other backend is held to.
-//   - Gemm: Conv2D lowered via im2col to a cache-blocked GEMM, with
-//     per-goroutine pool-recycled scratch buffers so the patch matrices
-//     allocate nothing in steady state. The serving hot path runs here.
+//   - Gemm: Conv2D (and, symmetrically, Conv2DBackward) lowered via im2col
+//     to a cache-blocked GEMM, with per-goroutine pool-recycled scratch
+//     buffers so the patch matrices allocate nothing in steady state. The
+//     serving hot path runs here.
+//   - QGemm: the quantized int8 backend — operands are int8 codes, the
+//     GEMM accumulates exactly in integers (the hot kernels pack two
+//     outputs into the 32-bit lanes of one uint64 so each 64-bit multiply
+//     advances two accumulations; see qgemm.go), and one rescale at the
+//     end maps back to float32. It additionally implements QuantBackend,
+//     consuming pre-quantized weight images (Int8Weights) straight from
+//     quant.QTensor codes with no float round-trip.
 //
-// Every backend is bit-identical to Ref on finite inputs: blocking is only
-// ever applied over independent output coordinates (matrix rows, output
-// pixels), never over the shared reduction dimension, so each output
+// The float backends are bit-identical to Ref on finite inputs: blocking is
+// only ever applied over independent output coordinates (matrix rows,
+// output pixels), never over the shared reduction dimension, so each output
 // element accumulates its k contributions in exactly the reference order
-// and rounds identically. Combined with the worker-count invariance of
-// internal/parallel, a model produces the same bits on any backend at any
-// worker count — which is what lets serving pick a backend per model
+// and rounds identically. QGemm is the deliberate exception: its outputs
+// carry symmetric-quantization error (~1/127 per operand) relative to Ref,
+// but it keeps every determinism guarantee — bit-identical across worker
+// counts, between fused-batch and per-sample paths, and between its float
+// and pre-quantized entry points (see the contract on qgemmBackend).
+// Gradients are relaxed the same way in one place only: the lowered
+// Conv2DBackward pins dW and dBias to Ref's bits, while dIn accumulates in
+// a fixed, worker-invariant order of its own (see gemmBackend's
+// Conv2DBackward). Combined with the worker-count invariance of
+// internal/parallel, a model produces the same bits on any given backend at
+// any worker count — which is what lets serving pick a backend per model
 // without perturbing the repository's determinism contract (seeded
 // corruptor streams, pinned characterization outcomes, cached trained
 // models).
@@ -35,8 +51,10 @@ import (
 )
 
 // Backend implements the four compute kernels the DNN stack is built on.
-// Implementations must be safe for concurrent use and bit-identical to Ref
-// on finite inputs at every worker count.
+// Implementations must be safe for concurrent use and bit-identical to
+// themselves at every worker count; float backends are additionally held
+// bit-identical to Ref on finite inputs (quantized backends document their
+// numeric contract instead).
 type Backend interface {
 	// Name is the stable identifier used by -backend flags and the
 	// serving API.
@@ -61,8 +79,9 @@ var Ref Backend = refBackend{}
 var Gemm Backend = gemmBackend{}
 
 var backends = map[string]Backend{
-	Ref.Name():  Ref,
-	Gemm.Name(): Gemm,
+	Ref.Name():   Ref,
+	Gemm.Name():  Gemm,
+	QGemm.Name(): QGemm,
 }
 
 // defaultBackend holds the process-wide fallback used by layers with no

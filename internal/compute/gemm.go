@@ -27,27 +27,29 @@ func (gemmBackend) Name() string { return "gemm" }
 // stays cache-resident while every filter of the group sweeps it.
 const colBlockElems = 32768
 
-// MatMul computes C = A (m×k) * B (k×n), row-parallel like Ref but
-// k-blocked: the B panel a block touches is reused across all rows of the
-// chunk before the next panel streams in. Per output element the
+// MatMul computes C = A (m×k) * B (k×n), k-blocked: the B panel a block
+// touches is reused across all rows of the chunk before the next panel
+// streams in. Work fans out over rows when there are enough of them to feed
+// the pool and over column blocks otherwise (the single-row products of
+// FC backward passes used to serialize here). Per output element the
 // contributions still arrive in ascending-k order with the same zero
-// skips, so the result matches Ref bit for bit.
+// skips, so the result matches Ref bit for bit either way.
 func (gemmBackend) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
 	m, k, n := matMulDims(a, b)
 	c := tensor.New(m, n)
 	const kBlock = 128
-	rows := func(lo, hi int) {
+	block := func(iLo, iHi, jLo, jHi int) {
 		for p0 := 0; p0 < k; p0 += kBlock {
 			p1 := min(p0+kBlock, k)
-			for i := lo; i < hi; i++ {
+			for i := iLo; i < iHi; i++ {
 				arow := a.Data[i*k : (i+1)*k]
-				crow := c.Data[i*n : (i+1)*n]
+				crow := c.Data[i*n+jLo : i*n+jHi]
 				for p := p0; p < p1; p++ {
 					av := arow[p]
 					if av == 0 {
 						continue
 					}
-					brow := b.Data[p*n : (p+1)*n]
+					brow := b.Data[p*n+jLo : p*n+jHi]
 					for j := range brow {
 						crow[j] += av * brow[j]
 					}
@@ -55,10 +57,16 @@ func (gemmBackend) MatMul(a, b *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	if m*k*n < parallelCutoff {
-		rows(0, m)
-	} else {
-		parallel.For(m, 1, rows)
+	switch wk := parallel.Workers(); {
+	case m*k*n < parallelCutoff:
+		block(0, m, 0, n)
+	case m >= wk:
+		parallel.For(m, 1, func(lo, hi int) { block(lo, hi, 0, n) })
+	default:
+		// Fewer rows than workers: split the columns instead. Every output
+		// element still runs its full ascending-k reduction inside one
+		// goroutine, so the split is invisible to the bits.
+		parallel.For(n, parallel.Grain(m*k), func(jLo, jHi int) { block(0, m, jLo, jHi) })
 	}
 	return c
 }
@@ -107,7 +115,9 @@ func (gemmBackend) MatMulTransB(a, b *tensor.Tensor) *tensor.Tensor {
 	if m*k*n < parallelCutoff {
 		cells(0, m*quads)
 	} else {
-		parallel.For(m*quads, 4, cells)
+		// Grain derived from per-quad work: serving-shaped calls (one row,
+		// huge k, a handful of quads) must still spread across the pool.
+		parallel.For(m*quads, parallel.Grain(4*k), cells)
 	}
 	return c
 }
@@ -291,10 +301,208 @@ func im2col(col []float32, in *tensor.Tensor, b, cin0, cg, kh, kw, h, wd, ow, oy
 	}
 }
 
-// Conv2DBackward delegates to Ref: training runs at a tiny fraction of
-// inference volume, and the fused reference sweeps are already parallel
-// and bit-pinned, so a lowered backward would add risk for no measured
-// win. Both backends therefore share one gradient path.
+// Conv2DBackward lowers the gradient computation through the same im2col
+// machinery as the forward pass, in two concurrent sweeps over disjoint
+// write sets (mirroring Ref's parallel decomposition):
+//
+//   - The weight sweep owns ranges of output channels. For each sample it
+//     stages the sample's patch matrix once (shared by every owned filter)
+//     and accumulates dW[fo] and dBias[fo] as streaming dot products
+//     against the filter's gradient row. Every dW/dBias element sees its
+//     contributions in exactly Ref's (sample, output-pixel) order — partial
+//     sums are carried in registers, never reduced across blocks — so both
+//     stay bit-identical to Ref at every worker count.
+//   - The input sweep owns samples. It accumulates the patch-matrix
+//     gradient dcol = Wᵀ·dOut (filters in ascending order) and scatters it
+//     back through col2imAdd. This pre-reduction over filters regroups the
+//     float sum, so dIn is NOT bit-identical to Ref — it is the one
+//     deliberate relaxation in the backend's contract. It remains fully
+//     deterministic: contributions accumulate in a fixed (filter, then
+//     patch-row, then output-pixel) order that no worker count can perturb,
+//     which is what training reproducibility actually depends on.
+//
+// The win is the same as the forward lowering's: the branchy per-tap bounds
+// checks collapse into the staging/scatter fills, and the hot loops become
+// long contiguous streams. Sub-cutoff shapes keep Ref's fused serial sweep.
 func (gemmBackend) Conv2DBackward(in, w *tensor.Tensor, hasBias bool, dOut *tensor.Tensor, p tensor.Conv2DParams) (dIn, dW, dBias *tensor.Tensor) {
-	return Ref.Conv2DBackward(in, w, hasBias, dOut, p)
+	g := convGeometry(in, w, p)
+	p = g.p
+	n, c, h, wd := g.n, g.c, g.h, g.w
+	f, cg, kh, kw := g.f, g.cg, g.kh, g.kw
+	oh, ow := dOut.Dim(2), dOut.Dim(3)
+	if n*f*oh*ow*cg*kh*kw < parallelCutoff {
+		return Ref.Conv2DBackward(in, w, hasBias, dOut, p)
+	}
+	dIn = tensor.New(n, c, h, wd)
+	dW = tensor.New(f, cg, kh, kw)
+	if hasBias {
+		dBias = tensor.New(f)
+	}
+	fPerG := f / p.Groups
+	kTotal := cg * kh * kw
+	rowsPer := max(1, colBlockElems/max(1, kTotal*ow))
+	if rowsPer > oh {
+		rowsPer = oh
+	}
+	blocks := (oh + rowsPer - 1) / rowsPer
+
+	weightSweep := func() {
+		parallel.For(f, 1, func(foLo, foHi int) {
+			col := getScratch(kTotal * rowsPer * ow)
+			defer putScratch(col)
+			for b := 0; b < n; b++ {
+				for grp := foLo / fPerG; grp <= (foHi-1)/fPerG; grp++ {
+					lo := max(foLo, grp*fPerG)
+					hi := min(foHi, (grp+1)*fPerG)
+					for blk := 0; blk < blocks; blk++ {
+						oyLo := blk * rowsPer
+						oyHi := min(oyLo+rowsPer, oh)
+						mLen := (oyHi - oyLo) * ow
+						colData := (*col)[:kTotal*mLen]
+						im2col(colData, in, b, grp*cg, cg, kh, kw, h, wd, ow, oyLo, oyHi, p.Stride, p.Padding)
+						for fo := lo; fo < hi; fo++ {
+							gBase := ((b*f+fo)*oh + oyLo) * ow
+							gvRow := dOut.Data[gBase : gBase+mLen]
+							if dBias != nil {
+								s := dBias.Data[fo]
+								for _, gv := range gvRow {
+									s += gv
+								}
+								dBias.Data[fo] = s
+							}
+							// Four patch rows ride one pass over the gradient
+							// row; each dW element keeps its own register
+							// accumulator seeded from (and stored back to) its
+							// slot, so the element's float op sequence is
+							// exactly Ref's. Zero gradients skip, as in Ref.
+							dwRow := dW.Data[fo*kTotal : (fo+1)*kTotal]
+							k := 0
+							for ; k+4 <= kTotal; k += 4 {
+								c0 := colData[k*mLen : (k+1)*mLen]
+								c1 := colData[(k+1)*mLen : (k+2)*mLen]
+								c2 := colData[(k+2)*mLen : (k+3)*mLen]
+								c3 := colData[(k+3)*mLen : (k+4)*mLen]
+								s0, s1, s2, s3 := dwRow[k], dwRow[k+1], dwRow[k+2], dwRow[k+3]
+								for m, gv := range gvRow {
+									if gv == 0 {
+										continue
+									}
+									s0 += gv * c0[m]
+									s1 += gv * c1[m]
+									s2 += gv * c2[m]
+									s3 += gv * c3[m]
+								}
+								dwRow[k], dwRow[k+1], dwRow[k+2], dwRow[k+3] = s0, s1, s2, s3
+							}
+							for ; k < kTotal; k++ {
+								ck := colData[k*mLen : (k+1)*mLen]
+								s := dwRow[k]
+								for m, gv := range gvRow {
+									if gv == 0 {
+										continue
+									}
+									s += gv * ck[m]
+								}
+								dwRow[k] = s
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	inputSweep := func() {
+		parallel.For(n, 1, func(bLo, bHi int) {
+			dcol := getScratch(kTotal * rowsPer * ow)
+			defer putScratch(dcol)
+			for b := bLo; b < bHi; b++ {
+				for grp := 0; grp < p.Groups; grp++ {
+					for blk := 0; blk < blocks; blk++ {
+						oyLo := blk * rowsPer
+						oyHi := min(oyLo+rowsPer, oh)
+						mLen := (oyHi - oyLo) * ow
+						dcolData := (*dcol)[:kTotal*mLen]
+						for i := range dcolData {
+							dcolData[i] = 0
+						}
+						for fo := grp * fPerG; fo < (grp+1)*fPerG; fo++ {
+							gBase := ((b*f+fo)*oh + oyLo) * ow
+							gvRow := dOut.Data[gBase : gBase+mLen]
+							wRow := w.Data[fo*kTotal : (fo+1)*kTotal]
+							for k := 0; k < kTotal; k++ {
+								wv := wRow[k]
+								if wv == 0 {
+									continue
+								}
+								dcRow := dcolData[k*mLen : (k+1)*mLen]
+								for m, gv := range gvRow {
+									if gv == 0 {
+										continue
+									}
+									dcRow[m] += wv * gv
+								}
+							}
+						}
+						col2imAdd(dcolData, dIn, b, grp*cg, cg, kh, kw, h, wd, ow, oyLo, oyHi, p.Stride, p.Padding)
+					}
+				}
+			}
+		})
+	}
+	parallel.Do(weightSweep, inputSweep)
+	return dIn, dW, dBias
+}
+
+// col2imAdd is im2col's adjoint: it scatters a patch-matrix gradient back
+// into one sample's dIn planes, adding each patch-row entry to the input
+// element its tap read. Padding taps have no source element and are
+// skipped. The scatter runs in fixed (patch-row, then output-pixel) order;
+// rows of different samples are disjoint, which is what lets the input
+// sweep parallelize over samples.
+func col2imAdd(dcol []float32, dIn *tensor.Tensor, b, cin0, cg, kh, kw, h, wd, ow, oyLo, oyHi, stride, pad int) {
+	c := dIn.Dim(1)
+	mLen := (oyHi - oyLo) * ow
+	for ci := 0; ci < cg; ci++ {
+		chanBase := (b*c + cin0 + ci) * h * wd
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				k := (ci*kh+ky)*kw + kx
+				src := dcol[k*mLen : (k+1)*mLen]
+				si := 0
+				for oy := oyLo; oy < oyHi; oy++ {
+					row := src[si : si+ow]
+					si += ow
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					oxLo := 0
+					if pad > kx {
+						oxLo = min((pad-kx+stride-1)/stride, ow)
+					}
+					oxHi := 0
+					if num := wd - 1 + pad - kx; num >= 0 {
+						oxHi = min(ow, num/stride+1)
+					}
+					if oxHi < oxLo {
+						oxHi = oxLo
+					}
+					rowBase := chanBase + iy*wd
+					if stride == 1 {
+						ix := oxLo - pad + kx
+						dst := dIn.Data[rowBase+ix : rowBase+ix+(oxHi-oxLo)]
+						for j, v := range row[oxLo:oxHi] {
+							dst[j] += v
+						}
+					} else {
+						ix := oxLo*stride - pad + kx
+						for j := oxLo; j < oxHi; j++ {
+							dIn.Data[rowBase+ix] += row[j]
+							ix += stride
+						}
+					}
+				}
+			}
+		}
+	}
 }

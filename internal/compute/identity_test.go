@@ -116,6 +116,90 @@ func TestGemmConv2DBitIdenticalToRef(t *testing.T) {
 	}
 }
 
+// TestGemmMatMulColumnSplitBitIdenticalToRef pins the serving-shaped
+// regime — few rows, many columns — where the lowered MatMul splits the
+// output columns (not rows) across workers. Each output element still
+// accumulates k-ascending, so the result must match Ref bit for bit.
+func TestGemmMatMulColumnSplitBitIdenticalToRef(t *testing.T) {
+	r := tensor.NewRNG(0x6E7E)
+	for _, m := range []int{1, 2, 3} {
+		a := randomTensor(r, m, 256)
+		b := randomTensor(r, 256, 128)
+		want := Ref.MatMul(a, b)
+		atWorkerCounts(t, func() {
+			assertSame(t, fmt.Sprintf("column-split MatMul m=%d", m), Gemm.MatMul(a, b), want)
+		})
+	}
+}
+
+// TestGemmConv2DBackwardMatchesRef pins the lowered backward pass against
+// Ref on randomized geometry: dW and dBias reproduce Ref bit for bit (the
+// lowering preserves their per-element accumulation order exactly), while
+// dIn — whose lowered form pre-reduces over filters in a fixed order of its
+// own — is held to a float tolerance against Ref and bit-identical to
+// itself across worker counts. See gemmBackend.Conv2DBackward for the
+// contract.
+func TestGemmConv2DBackwardMatchesRef(t *testing.T) {
+	r := tensor.NewRNG(0x6E7F)
+	for iter := 0; iter < 40; iter++ {
+		stride := r.Intn(3) + 1
+		k := r.Intn(5) + 1
+		pad := r.Intn(k)
+		groups := 1
+		cg := r.Intn(6) + 1
+		fPerG := r.Intn(6) + 1
+		if r.Intn(3) == 0 {
+			groups = r.Intn(4) + 1
+		}
+		c := cg * groups
+		f := fPerG * groups
+		n := r.Intn(3) + 1
+		h := k + r.Intn(14)
+		w := k + r.Intn(14)
+		p := tensor.Conv2DParams{Stride: stride, Padding: pad, Groups: groups}
+		in := randomTensor(r, n, c, h, w)
+		wt := randomTensor(r, f, cg, k, k)
+		hasBias := r.Intn(2) == 0
+		out := Ref.Conv2D(in, wt, nil, p)
+		dOut := randomTensor(r, out.Shape()...)
+		sprinkleZeros(dOut, r) // the gv==0 skip path must stay bit-neutral
+		wantIn, wantW, wantB := Ref.Conv2DBackward(in, wt, hasBias, dOut, p)
+		desc := fmt.Sprintf("Conv2DBackward n=%d c=%d h=%d w=%d f=%d k=%d s=%d p=%d g=%d bias=%v",
+			n, c, h, w, f, k, stride, pad, groups, hasBias)
+		var pinnedIn *tensor.Tensor
+		atWorkerCounts(t, func() {
+			gIn, gW, gB := Gemm.Conv2DBackward(in, wt, hasBias, dOut, p)
+			assertSame(t, desc+" dW", gW, wantW)
+			if hasBias {
+				assertSame(t, desc+" dBias", gB, wantB)
+			} else if gB != nil {
+				t.Fatalf("%s: dBias should be nil", desc)
+			}
+			for i := range gIn.Data {
+				diff := float64(gIn.Data[i] - wantIn.Data[i])
+				if diff < 0 {
+					diff = -diff
+				}
+				if lim := 1e-3 * (1 + float64(abs32(wantIn.Data[i]))); diff > lim {
+					t.Fatalf("%s: dIn[%d] = %v, Ref %v", desc, i, gIn.Data[i], wantIn.Data[i])
+				}
+			}
+			if pinnedIn == nil {
+				pinnedIn = gIn
+			} else {
+				assertSame(t, desc+" dIn worker invariance", gIn, pinnedIn)
+			}
+		})
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // TestGemmConv2DOneByOneFastPath pins the no-copy 1×1 lowering against Ref
 // explicitly, since it bypasses im2col entirely.
 func TestGemmConv2DOneByOneFastPath(t *testing.T) {

@@ -1,0 +1,100 @@
+package compute
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// benchConv measures one large mid-network convolution (batch 4, 64→128
+// channels, 56×56, 3×3) with a third of the activations zeroed — the
+// post-ReLU sparsity regime the kernels actually see.
+func benchConv(b *testing.B, bk Backend) {
+	r := tensor.NewRNG(1)
+	in := tensor.New(4, 64, 56, 56)
+	in.FillUniform(r, -1, 1)
+	for i := range in.Data {
+		if i%3 == 0 {
+			in.Data[i] = 0
+		}
+	}
+	w := tensor.New(128, 64, 3, 3)
+	w.FillUniform(r, -1, 1)
+	p := tensor.Conv2DParams{Stride: 1, Padding: 1}
+	bk.Conv2D(in, w, nil, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk.Conv2D(in, w, nil, p)
+	}
+}
+
+func BenchmarkConvGemm(b *testing.B)  { benchConv(b, Gemm) }
+func BenchmarkConvQGemm(b *testing.B) { benchConv(b, QGemm) }
+
+// BenchmarkVGGLayers measures every distinct conv and FC shape of the
+// zoo's VGG-16 at serving batch 16, float gemm against the quantized
+// kernels on adopted images — the per-layer decomposition of the
+// forward_batch_sps numbers the serving bench publishes. A third of the
+// activations are zeroed to mimic post-ReLU inputs.
+func BenchmarkVGGLayers(b *testing.B) {
+	shapes := []struct {
+		name          string
+		c, f, hw, khw int
+	}{
+		{"conv1_1", 3, 16, 16, 3},
+		{"conv1_2", 16, 16, 16, 3},
+		{"conv2_1", 16, 32, 8, 3},
+		{"conv2_2", 32, 32, 8, 3},
+		{"conv3_1", 32, 64, 4, 3},
+	}
+	qb := QGemm.(QuantBackend)
+	for _, s := range shapes {
+		rng := tensor.NewRNG(7)
+		in := tensor.New(16, s.c, s.hw, s.hw)
+		in.FillUniform(rng, -1, 1)
+		for i := 0; i < len(in.Data); i += 3 {
+			in.Data[i] = 0
+		}
+		w := tensor.New(s.f, s.c, s.khw, s.khw)
+		w.FillUniform(rng, -1, 1)
+		bias := tensor.New(s.f)
+		p := tensor.Conv2DParams{Stride: 1, Padding: 1}
+		iw := QuantizeInt8(w)
+		b.Run(fmt.Sprintf("%s/gemm", s.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Gemm.Conv2D(in, w, bias, p)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/qgemm", s.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qb.Conv2DQ(in, iw, bias, p)
+			}
+		})
+	}
+	fcs := []struct {
+		name string
+		k, n int
+	}{
+		{"fc1", 256, 512},
+		{"fc2", 512, 128},
+	}
+	for _, s := range fcs {
+		rng := tensor.NewRNG(9)
+		a := tensor.New(16, s.k)
+		a.FillUniform(rng, -1, 1)
+		w := tensor.New(s.n, s.k)
+		w.FillUniform(rng, -1, 1)
+		iw := QuantizeInt8(w)
+		b.Run(fmt.Sprintf("%s/gemm", s.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Gemm.MatMulTransB(a, w)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/qgemm", s.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qb.MatMulTransBQ(a, iw)
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package compute
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// These tests pin the quantized backend's numeric contract (see the doc on
+// qgemmBackend): bit-identical across worker counts, between fused-batch
+// and per-sample calls, and between the plain float entry points and the
+// pre-quantized Int8Weights entry points — while staying within the
+// symmetric-quantization error envelope of the float backends.
+
+// relL2 is the relative L2 distance between two equally-shaped tensors.
+func relL2(got, want *tensor.Tensor) float64 {
+	var num, den float64
+	for i := range want.Data {
+		d := float64(got.Data[i] - want.Data[i])
+		num += d * d
+		w := float64(want.Data[i])
+		den += w * w
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// quantEnvelope is the documented closeness bound against the float
+// backends: two int8-quantized operands leave roughly 1/127 of error per
+// operand, so a few percent in aggregate.
+const quantEnvelope = 0.03
+
+func TestQGemmWorkerInvariance(t *testing.T) {
+	r := tensor.NewRNG(0x9A01)
+	type shape struct{ m, k, n int }
+	for _, s := range []shape{{3, 7, 5}, {16, 64, 48}, {1, 256, 128}, {40, 96, 33}} {
+		a := randomTensor(r, s.m, s.k)
+		b := randomTensor(r, s.k, s.n)
+		bt := randomTensor(r, s.n, s.k)
+		var mm, mt *tensor.Tensor
+		atWorkerCounts(t, func() {
+			gotMM := QGemm.MatMul(a, b)
+			gotMT := QGemm.MatMulTransB(a, bt)
+			if mm == nil {
+				mm, mt = gotMM, gotMT
+				return
+			}
+			assertSame(t, fmt.Sprintf("qgemm MatMul %v", s), gotMM, mm)
+			assertSame(t, fmt.Sprintf("qgemm MatMulTransB %v", s), gotMT, mt)
+		})
+		if e := relL2(mm, Gemm.MatMul(a, b)); e > quantEnvelope {
+			t.Fatalf("qgemm MatMul %v: rel L2 error %v vs gemm", s, e)
+		}
+		if e := relL2(mt, Gemm.MatMulTransB(a, bt)); e > quantEnvelope {
+			t.Fatalf("qgemm MatMulTransB %v: rel L2 error %v vs gemm", s, e)
+		}
+	}
+}
+
+func TestQGemmConv2DWorkerInvarianceAndEnvelope(t *testing.T) {
+	r := tensor.NewRNG(0x9A02)
+	for iter := 0; iter < 20; iter++ {
+		stride := r.Intn(2) + 1
+		k := r.Intn(4) + 1
+		pad := r.Intn(k)
+		groups := 1
+		if r.Intn(3) == 0 {
+			groups = 2
+		}
+		cg := r.Intn(5) + 1
+		fPerG := r.Intn(5) + 1
+		n := r.Intn(3) + 1
+		h := k + r.Intn(12)
+		w := k + r.Intn(12)
+		p := tensor.Conv2DParams{Stride: stride, Padding: pad, Groups: groups}
+		in := randomTensor(r, n, cg*groups, h, w)
+		wt := randomTensor(r, fPerG*groups, cg, k, k)
+		var bias *tensor.Tensor
+		if r.Intn(2) == 0 {
+			bias = randomTensor(r, fPerG*groups)
+		}
+		desc := fmt.Sprintf("qgemm Conv2D n=%d c=%d h=%d w=%d f=%d k=%d s=%d p=%d g=%d",
+			n, cg*groups, h, w, fPerG*groups, k, stride, pad, groups)
+		var pinned *tensor.Tensor
+		atWorkerCounts(t, func() {
+			got := QGemm.Conv2D(in, wt, bias, p)
+			if pinned == nil {
+				pinned = got
+				return
+			}
+			assertSame(t, desc, got, pinned)
+		})
+		if e := relL2(pinned, Gemm.Conv2D(in, wt, bias, p)); e > quantEnvelope {
+			t.Fatalf("%s: rel L2 error %v vs gemm", desc, e)
+		}
+	}
+}
+
+// TestQGemmBatchInvariance pins the per-sample quantization design: a fused
+// batch must produce, sample for sample, the same bits as n independent
+// single-sample calls — activation scales never cross samples.
+func TestQGemmBatchInvariance(t *testing.T) {
+	r := tensor.NewRNG(0x9A03)
+	in := randomTensor(r, 4, 6, 9, 9)
+	wt := randomTensor(r, 8, 6, 3, 3)
+	bias := randomTensor(r, 8)
+	p := tensor.Conv2DParams{Stride: 1, Padding: 1}
+	batch := QGemm.Conv2D(in, wt, bias, p)
+	per := batch.Size() / 4
+	for b := 0; b < 4; b++ {
+		single := tensor.FromSlice(in.Data[b*in.Size()/4:(b+1)*in.Size()/4], 1, 6, 9, 9)
+		out := QGemm.Conv2D(single, wt, bias, p)
+		for i := 0; i < per; i++ {
+			if out.Data[i] != batch.Data[b*per+i] {
+				t.Fatalf("sample %d elem %d: fused %v, solo %v", b, i, batch.Data[b*per+i], out.Data[i])
+			}
+		}
+	}
+
+	// MatMul quantizes per row: batched rows == stacked single rows.
+	a := randomTensor(r, 5, 32)
+	bm := randomTensor(r, 32, 12)
+	all := QGemm.MatMul(a, bm)
+	for i := 0; i < 5; i++ {
+		row := tensor.FromSlice(a.Data[i*32:(i+1)*32], 1, 32)
+		out := QGemm.MatMul(row, bm)
+		for j := 0; j < 12; j++ {
+			if out.Data[j] != all.Data[i*12+j] {
+				t.Fatalf("row %d col %d: batched %v, solo %v", i, j, all.Data[i*12+j], out.Data[j])
+			}
+		}
+	}
+}
+
+// TestQGemmQuantizedEntryMatchesFloat pins the zero-round-trip contract:
+// feeding pre-quantized int8 codes through Conv2DQ/MatMulTransBQ produces
+// exactly the bits of the plain float entry points on the dequantized
+// weights. (Quantizing the dequantized tensor reproduces the codes: the
+// extreme element maps to ±127, so the recomputed scale is the stored
+// scale.)
+func TestQGemmQuantizedEntryMatchesFloat(t *testing.T) {
+	qb, ok := QGemm.(QuantBackend)
+	if !ok {
+		t.Fatal("QGemm does not implement QuantBackend")
+	}
+	r := tensor.NewRNG(0x9A04)
+
+	wt := randomTensor(r, 8, 4, 3, 3)
+	q := quant.Quantize(wt, quant.Int8)
+	iw := &Int8Weights{Data: q.Int8Values(), Scale: q.Scale, Shape: wt.Shape().Clone()}
+	wf := q.Dequantize()
+	in := randomTensor(r, 2, 4, 10, 10)
+	bias := randomTensor(r, 8)
+	p := tensor.Conv2DParams{Stride: 1, Padding: 1}
+	atWorkerCounts(t, func() {
+		assertSame(t, "Conv2DQ vs float entry", qb.Conv2DQ(in, iw, bias, p), QGemm.Conv2D(in, wf, bias, p))
+	})
+
+	fcw := randomTensor(r, 12, 40)
+	qf := quant.Quantize(fcw, quant.Int8)
+	ifw := &Int8Weights{Data: qf.Int8Values(), Scale: qf.Scale, Shape: fcw.Shape().Clone()}
+	ff := qf.Dequantize()
+	a := randomTensor(r, 6, 40)
+	atWorkerCounts(t, func() {
+		assertSame(t, "MatMulTransBQ vs float entry", qb.MatMulTransBQ(a, ifw), QGemm.MatMulTransB(a, ff))
+	})
+}
+
+// TestQGemmInt4Image runs the quantized entry points on an int4-coded
+// weight image (codes in [-8,7], the image eden serves at Int4 precision).
+// Weights are exact — the comparison float weights ARE the dequantized
+// codes — so the only deviation from gemm is the input's int8 quantization.
+func TestQGemmInt4Image(t *testing.T) {
+	qb := QGemm.(QuantBackend)
+	r := tensor.NewRNG(0x9A05)
+	wt := randomTensor(r, 6, 3, 3, 3)
+	q := quant.Quantize(wt, quant.Int4)
+	iw := &Int8Weights{Data: q.Int8Values(), Scale: q.Scale, Shape: wt.Shape().Clone()}
+	wf := q.Dequantize()
+	in := randomTensor(r, 2, 3, 8, 8)
+	p := tensor.Conv2DParams{Stride: 1, Padding: 1}
+	var pinned *tensor.Tensor
+	atWorkerCounts(t, func() {
+		got := qb.Conv2DQ(in, iw, nil, p)
+		if pinned == nil {
+			pinned = got
+			return
+		}
+		assertSame(t, "int4 Conv2DQ worker invariance", got, pinned)
+	})
+	if e := relL2(pinned, Gemm.Conv2D(in, wf, nil, p)); e > quantEnvelope {
+		t.Fatalf("int4 Conv2DQ: rel L2 error %v vs gemm on dequantized weights", e)
+	}
+}
+
+// TestQGemmWideReductionFallback drives a reduction past the int32 overflow
+// guard and checks the float fallback still honors the backend contract of
+// worker-count invariance.
+func TestQGemmWideReductionFallback(t *testing.T) {
+	r := tensor.NewRNG(0x9A06)
+	k := qSafeK + 1
+	a := tensor.New(1, k)
+	a.FillUniform(r, -1, 1)
+	b := tensor.New(3, k)
+	b.FillUniform(r, -1, 1)
+	var pinned *tensor.Tensor
+	atWorkerCounts(t, func() {
+		got := QGemm.MatMulTransB(a, b)
+		if pinned == nil {
+			pinned = got
+			return
+		}
+		assertSame(t, "wide-k fallback", got, pinned)
+	})
+	assertSame(t, "wide-k fallback matches gemm", pinned, Gemm.MatMulTransB(a, b))
+}

@@ -76,7 +76,10 @@ func (refBackend) MatMulTransB(a, b *tensor.Tensor) *tensor.Tensor {
 	if m*k*n < parallelCutoff {
 		cells(0, m*n)
 	} else {
-		parallel.For(m*n, 16, cells)
+		// Work-aware grain: a serving-shaped call (m = 1 sample, huge k,
+		// a handful of output classes) has very few cells, each heavy — a
+		// fixed grain of 16 would silently serialize it.
+		parallel.For(m*n, parallel.Grain(k), cells)
 	}
 	return c
 }
@@ -329,6 +332,12 @@ type convGeom struct {
 // convGeometry normalizes p's defaults, validates the channel/group layout
 // and computes the output extents.
 func convGeometry(in, w *tensor.Tensor, p tensor.Conv2DParams) convGeom {
+	return convGeometryDims(in, w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3), p)
+}
+
+// convGeometryDims is convGeometry for callers whose weights are not a
+// float tensor (the quantized kernels hold codes plus a shape).
+func convGeometryDims(in *tensor.Tensor, f, cg, kh, kw int, p tensor.Conv2DParams) convGeom {
 	if p.Stride <= 0 {
 		p.Stride = 1
 	}
@@ -338,7 +347,7 @@ func convGeometry(in, w *tensor.Tensor, p tensor.Conv2DParams) convGeom {
 	g := convGeom{
 		p: p,
 		n: in.Dim(0), c: in.Dim(1), h: in.Dim(2), w: in.Dim(3),
-		f: w.Dim(0), cg: w.Dim(1), kh: w.Dim(2), kw: w.Dim(3),
+		f: f, cg: cg, kh: kh, kw: kw,
 	}
 	if g.c/p.Groups != g.cg {
 		panic(fmt.Sprintf("compute: Conv2D channel mismatch in=%d groups=%d wc=%d", g.c, p.Groups, g.cg))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -31,23 +32,81 @@ func TestBackendsBitIdenticalOnZoo(t *testing.T) {
 			net.SetBackend(compute.Ref)
 			want := net.Forward(x, false, nil)
 
+			// The quantized backend is not bit-identical to Ref (its
+			// deliberate numeric contract); it is instead held
+			// bit-identical to itself across worker counts below.
+			parallel.SetWorkers(1)
+			net.SetBackend(compute.QGemm)
+			wantQ := net.Forward(x, false, nil)
+
 			for _, w := range []int{1, 4} {
 				parallel.SetWorkers(w)
-				for _, b := range []compute.Backend{compute.Ref, compute.Gemm} {
+				for _, b := range []compute.Backend{compute.Ref, compute.Gemm, compute.QGemm} {
+					ref := want
+					if _, quantized := b.(compute.QuantBackend); quantized {
+						ref = wantQ
+					}
 					net.SetBackend(b)
 					got := net.Forward(x, false, nil)
-					if !got.Shape().Equal(want.Shape()) {
-						t.Fatalf("%s workers=%d: shape %v != %v", b.Name(), w, got.Shape(), want.Shape())
+					if !got.Shape().Equal(ref.Shape()) {
+						t.Fatalf("%s workers=%d: shape %v != %v", b.Name(), w, got.Shape(), ref.Shape())
 					}
-					for i := range want.Data {
-						if got.Data[i] != want.Data[i] {
+					for i := range ref.Data {
+						if got.Data[i] != ref.Data[i] {
 							t.Fatalf("%s workers=%d: output[%d] = %v, want %v (bit-exact)",
-								b.Name(), w, i, got.Data[i], want.Data[i])
+								b.Name(), w, i, got.Data[i], ref.Data[i])
 						}
 					}
 				}
 			}
 		})
+	}
+}
+
+// TestAdoptQuantizedWeightsFastPath pins the zero-round-trip serving path:
+// a network with adopted int8 weight images, forwarded on the quantized
+// backend, produces exactly the bits of the same network forwarded on the
+// dequantized weights — the contract that lets serving feed QTensor codes
+// straight to the integer kernels.
+func TestAdoptQuantizedWeightsFastPath(t *testing.T) {
+	net, err := BuildModel("LeNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetBackend(compute.QGemm)
+	rng := tensor.NewRNG(0xB18)
+	x := tensor.New(2, net.InC, net.InH, net.InW)
+	x.FillUniform(rng, -1, 1)
+
+	adopted := net.AdoptQuantizedWeights(quant.Int8)
+	if adopted == 0 {
+		t.Fatal("AdoptQuantizedWeights adopted nothing")
+	}
+	// Rewrite the float weights to the dequantized images, the weights a
+	// corrupted deployment actually serves; the fast path must match them.
+	for _, p := range net.Params() {
+		if q := p.Quantized(); q != nil {
+			qt := quant.Quantize(p.W, quant.Int8)
+			qt.DequantizeInto(p.W.Data)
+		}
+	}
+	fast := net.Forward(x, false, nil)
+
+	// Same forward with the images dropped: the plain float qgemm path.
+	for _, p := range net.Params() {
+		p.SetQuantized(nil)
+	}
+	plain := net.Forward(x, false, nil)
+	for i := range plain.Data {
+		if fast.Data[i] != plain.Data[i] {
+			t.Fatalf("output[%d]: fast path %v, float path %v (bit-exact)", i, fast.Data[i], plain.Data[i])
+		}
+	}
+
+	// Training forwards must ignore the images (straight-through training
+	// updates the float weights).
+	if net.AdoptQuantizedWeights(quant.FP32) != 0 {
+		t.Fatal("FP32 adoption should clear images and adopt nothing")
 	}
 }
 

@@ -42,7 +42,22 @@ type Param struct {
 	W    *tensor.Tensor
 	G    *tensor.Tensor
 	V    *tensor.Tensor
+	// qw caches the int8 code image of W for QuantBackend fast paths; nil
+	// when the param has not adopted quantized serving. It is written at
+	// registration time (Network.AdoptQuantizedWeights, eden's
+	// CorruptWeights) and only read on the inference hot path, never
+	// during training.
+	qw *compute.Int8Weights
 }
+
+// SetQuantized installs (or, with nil, clears) the cached int8 image of W.
+// Callers must keep the image in sync with W: eden's weight corruption
+// rebuilds it from the corrupted codes whenever the float weights are
+// rewritten.
+func (p *Param) SetQuantized(qw *compute.Int8Weights) { p.qw = qw }
+
+// Quantized returns the cached int8 image of W, or nil.
+func (p *Param) Quantized() *compute.Int8Weights { return p.qw }
 
 func newParam(name string, dims ...int) *Param {
 	return &Param{Name: name, W: tensor.New(dims...), G: tensor.New(dims...), V: tensor.New(dims...)}
@@ -92,7 +107,11 @@ func (l *Conv) Name() string { return l.LayerName }
 
 // Forward convolves x with the layer weights. Inference-mode forwards
 // (train == false) touch no layer state, so a network may run concurrent
-// evaluation passes over shared weights (see Network.ForwardBatch).
+// evaluation passes over shared weights (see Network.ForwardBatch). When
+// the layer's backend consumes quantized weights and the param carries a
+// cached int8 image, inference skips the float weight tensor entirely;
+// training always runs the float path (gradients are defined on the float
+// linearization).
 func (l *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.lastInput = x
@@ -100,6 +119,13 @@ func (l *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	var b *tensor.Tensor
 	if l.Bias != nil {
 		b = l.Bias.W
+	}
+	if !train {
+		if qb, ok := l.backend().(compute.QuantBackend); ok {
+			if qw := l.Weight.Quantized(); qw != nil {
+				return qb.Conv2DQ(x, qw, b, l.P)
+			}
+		}
 	}
 	return l.backend().Conv2D(x, l.Weight.W, b, l.P)
 }
@@ -145,7 +171,9 @@ func NewFC(name string, in, out int, rng *tensor.RNG) *FC {
 // Name returns the layer name.
 func (l *FC) Name() string { return l.LayerName }
 
-// Forward flattens x to (N, in) and applies xWᵀ + b.
+// Forward flattens x to (N, in) and applies xWᵀ + b. Like Conv, inference
+// uses the quantized-weight fast path when the backend supports it and a
+// cached int8 image is present.
 func (l *FC) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	in := x.Size() / n
@@ -154,7 +182,15 @@ func (l *FC) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.lastInput = flat
 		l.lastShape = x.Shape().Clone()
 	}
-	out := l.backend().MatMulTransB(flat, l.Weight.W)
+	var out *tensor.Tensor
+	if qb, ok := l.backend().(compute.QuantBackend); !train && ok {
+		if qw := l.Weight.Quantized(); qw != nil {
+			out = qb.MatMulTransBQ(flat, qw)
+		}
+	}
+	if out == nil {
+		out = l.backend().MatMulTransB(flat, l.Weight.W)
+	}
 	ncols := out.Dim(1)
 	for i := 0; i < n; i++ {
 		for j := 0; j < ncols; j++ {

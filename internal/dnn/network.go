@@ -119,7 +119,10 @@ func (n *Network) ForwardBatch(xs []*tensor.Tensor, opt BatchOptions) []*tensor.
 // bit-identical to ForwardBatch's — the two are interchangeable, and the
 // serve scheduler picks fused when a batch is worth fusing.
 //
-// Hooks and Done callbacks run on the calling goroutine, samples in
+// Per-sample hooks fan out across the worker pool between layers (each
+// writes only its own sample's slab, so the fan-out is bit-invisible);
+// like ForwardBatch's, they run concurrently and must not share mutable
+// state. Done callbacks run on the calling goroutine, samples in
 // ascending order.
 func (n *Network) ForwardBatchFused(xs []*tensor.Tensor, opt BatchOptions) []*tensor.Tensor {
 	b := len(xs)
@@ -142,19 +145,29 @@ func (n *Network) ForwardBatchFused(xs []*tensor.Tensor, opt BatchOptions) []*te
 	// the layer loop performs no header allocations (FromSlice clones the
 	// shape it is handed, so reusing the buffer across layers is safe).
 	dimsBuf := make([]int, 0, 8)
+	// hookLayer fans the per-sample hooks across the pool ahead of one
+	// layer: each hook reads and writes only its own slab (dims is
+	// read-only and FromSlice clones it), so the fan-out cannot perturb
+	// the bits. This is where batch-level parallelism pays on the fused
+	// path — per-sample corruption used to serialize ahead of every
+	// layer. li and l arrive as parameters so the pool tasks never close
+	// over loop variables.
+	hookLayer := func(li int, l Layer, x *tensor.Tensor) {
+		span := x.Size() / b
+		dims := viewDims(&dimsBuf, x.Shape())
+		parallel.ForEach(b, func(i int) {
+			if hooks[i] == nil {
+				return
+			}
+			view := tensor.FromSlice(x.Data[i*span:(i+1)*span], dims...)
+			if y := hooks[i](li, l, view); y != view {
+				copy(x.Data[i*span:(i+1)*span], y.Data)
+			}
+		})
+	}
 	for li, l := range n.Layers {
 		if hooks != nil {
-			span := x.Size() / b
-			dims := viewDims(&dimsBuf, x.Shape())
-			for i := 0; i < b; i++ {
-				if hooks[i] == nil {
-					continue
-				}
-				view := tensor.FromSlice(x.Data[i*span:(i+1)*span], dims...)
-				if y := hooks[i](li, l, view); y != view {
-					copy(x.Data[i*span:(i+1)*span], y.Data)
-				}
-			}
+			hookLayer(li, l, x)
 		}
 		x = l.Forward(x, false)
 	}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/compute"
 	"repro/internal/dnn"
 	"repro/internal/dram"
 	"repro/internal/errormodel"
@@ -212,20 +213,30 @@ func (s *SoftwareDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor
 // t outright — in-place corruption of a reused tensor, like a dataset
 // sample, would compound across passes.
 func (s *SoftwareDRAM) corruptTensorInto(t *tensor.Tensor, id string, inPlace bool) *tensor.Tensor {
-	finish := func(q *quant.QTensor) *tensor.Tensor {
-		if inPlace {
-			q.DequantizeInto(t.Data)
-			return t
-		}
-		return q.Dequantize()
+	q := s.corruptImage(t, id)
+	if q == nil {
+		return t
 	}
+	if inPlace {
+		q.DequantizeInto(t.Data)
+		return t
+	}
+	return q.Dequantize()
+}
+
+// corruptImage runs the quantize → inject → correct pipeline and returns
+// the corrupted quantized image itself, or nil when the data ID is entirely
+// error-free and quantization is not forced (the tensor passes through
+// untouched). Exposing the image lets CorruptWeights re-derive adopted int8
+// weight codes without a float round-trip.
+func (s *SoftwareDRAM) corruptImage(t *tensor.Tensor, id string) *quant.QTensor {
 	ber := s.berFor(id)
 	if ber <= 0 && !s.ForceQuant {
-		return t
+		return nil
 	}
 	q := quant.Quantize(t, s.Prec)
 	if ber <= 0 {
-		return finish(q)
+		return q
 	}
 	scaled := s.Model.ScaledTo(ber)
 	inj := errormodel.Injector{Model: scaled}
@@ -260,7 +271,7 @@ func (s *SoftwareDRAM) corruptTensorInto(t *tensor.Tensor, id string, inPlace bo
 		// weight thresholds are computed at training time (§3.2).
 		s.Logic.CorrectQTensor(q, memctrl.FromTensor(t, 1.5))
 	}
-	return finish(q)
+	return q
 }
 
 // NextPass advances the transient error draw.
@@ -396,18 +407,46 @@ func (s *SoftwareDRAM) SampleHooks(base uint64) func(int) dnn.IFMHook {
 }
 
 // CorruptWeights overwrites every parameter with its approximate-DRAM image
-// and returns a function that restores the clean weights.
+// and returns a function that restores the clean weights. Parameters
+// carrying an adopted int8 weight image (dnn.AdoptQuantizedWeights) have the
+// image re-derived from the corrupted codes, so QuantBackend inference reads
+// the same corrupted values the float path does.
 func (s *SoftwareDRAM) CorruptWeights(net *dnn.Network) (restore func()) {
+	return corruptParams(net, s.corruptImage)
+}
+
+// corruptParams implements CorruptWeights for any corruptor that can expose
+// its corrupted quantized image: every parameter is overwritten with the
+// dequantized image, and parameters that carry an adopted int8 code image
+// get it refreshed from the corrupted codes directly — no float round-trip,
+// so the QuantBackend fast path and the float path serve bit-consistent
+// corrupted weights. The returned restore puts back both the clean floats
+// and the clean adopted images.
+func corruptParams(net *dnn.Network, image func(t *tensor.Tensor, id string) *quant.QTensor) (restore func()) {
 	params := net.Params()
 	saved := make([][]float32, len(params))
+	savedQ := make([]*compute.Int8Weights, len(params))
 	for i, p := range params {
 		saved[i] = append([]float32(nil), p.W.Data...)
-		corrupted := s.corruptTensor(p.W, WeightID(p.Name))
-		copy(p.W.Data, corrupted.Data)
+		savedQ[i] = p.Quantized()
+		q := image(p.W, WeightID(p.Name))
+		if q == nil {
+			continue
+		}
+		q.DequantizeInto(p.W.Data)
+		if savedQ[i] != nil {
+			// Wider-than-int8 precisions yield a nil image here, which
+			// correctly disables the fast path while the corrupted floats
+			// stand in.
+			p.SetQuantized(dnn.Int8WeightsFromQTensor(q))
+		}
 	}
 	return func() {
 		for i, p := range params {
 			copy(p.W.Data, saved[i])
+			if savedQ[i] != nil {
+				p.SetQuantized(savedQ[i])
+			}
 		}
 	}
 }
@@ -594,6 +633,12 @@ func (c *DeviceDRAM) PlaceInPartition(id string, bytes, partition int, partition
 // corruptTensor stores t in the device and reads it back at the device's
 // current operating point.
 func (c *DeviceDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor {
+	return c.corruptImage(t, id).Dequantize()
+}
+
+// corruptImage is the device round-trip up to (and including) error
+// correction, returning the corrupted quantized image.
+func (c *DeviceDRAM) corruptImage(t *tensor.Tensor, id string) *quant.QTensor {
 	q := quant.Quantize(t, c.Prec)
 	img := q.Pack()
 	addr, err := c.place(id, len(img))
@@ -612,27 +657,17 @@ func (c *DeviceDRAM) corruptTensor(t *tensor.Tensor, id string) *tensor.Tensor {
 	} else if c.Policy != memctrl.Off {
 		c.Logic.CorrectQTensor(q, memctrl.FromTensor(t, 1.5))
 	}
-	return q.Dequantize()
+	return q
 }
 
 // NextPass is a no-op: the device's read counter already advances per
 // access, making every read an independent transient draw.
 func (c *DeviceDRAM) NextPass() {}
 
-// CorruptWeights stores every parameter in the module and reads it back.
+// CorruptWeights stores every parameter in the module and reads it back,
+// refreshing any adopted int8 weight images from the read-back codes.
 func (c *DeviceDRAM) CorruptWeights(net *dnn.Network) (restore func()) {
-	params := net.Params()
-	saved := make([][]float32, len(params))
-	for i, p := range params {
-		saved[i] = append([]float32(nil), p.W.Data...)
-		corrupted := c.corruptTensor(p.W, WeightID(p.Name))
-		copy(p.W.Data, corrupted.Data)
-	}
-	return func() {
-		for i, p := range params {
-			copy(p.W.Data, saved[i])
-		}
-	}
+	return corruptParams(net, c.corruptImage)
 }
 
 // IFMHook returns a hook that round-trips each IFM through the module.

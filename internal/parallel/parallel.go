@@ -39,10 +39,18 @@ func init() {
 }
 
 // SetWorkers sets the global worker budget. Values below 1 reset it to
-// GOMAXPROCS. It returns the value actually installed.
+// GOMAXPROCS. A budget above GOMAXPROCS raises GOMAXPROCS toward it, but
+// never past the detected core count: a runtime capped below the hardware
+// (container CPU quotas are routinely mis-detected) would otherwise schedule
+// the extra goroutines on the same OS threads and silently flatline the
+// scaling curve, while raising past NumCPU only adds OS-thread timesharing
+// overhead without adding compute. It returns the value actually installed.
 func SetWorkers(n int) int {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
+	}
+	if p := min(n, runtime.NumCPU()); p > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(p)
 	}
 	defaultWorkers.Store(int64(n))
 	return n
@@ -50,6 +58,27 @@ func SetWorkers(n int) int {
 
 // Workers returns the current worker budget.
 func Workers() int { return int(defaultWorkers.Load()) }
+
+// grainTargetWork is the per-chunk scalar-operation budget Grain aims for:
+// large enough to amortize a chunk claim, small enough that a handful of
+// heavy items still spread across the pool.
+const grainTargetWork = 1 << 12
+
+// Grain returns a For grain for items that each perform roughly
+// perItemWork scalar operations. Fixed grains mis-size exactly when item
+// count and item weight trade off — a serving-shaped matrix product with
+// two heavy cells would serialize under a grain of 16 — so kernels derive
+// the grain from per-item work instead.
+func Grain(perItemWork int) int {
+	if perItemWork < 1 {
+		perItemWork = 1
+	}
+	g := grainTargetWork / perItemWork
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // tryAcquire takes one helper token if the budget allows, without blocking.
 func tryAcquire() bool {

@@ -81,6 +81,28 @@ func TestForPropagatesPanic(t *testing.T) {
 	})
 }
 
+// TestGrainScalesWithPerItemWork pins the work-aware grain: heavy items
+// must yield a grain of 1 (every item is worth its own chunk — the
+// serving-shaped m=1 GEMM regression where a fixed min-grain serialized
+// whole kernels), light items a grain that amortizes chunk dispatch.
+func TestGrainScalesWithPerItemWork(t *testing.T) {
+	if got := Grain(1 << 20); got != 1 {
+		t.Fatalf("Grain(heavy) = %d, want 1", got)
+	}
+	if got := Grain(0); got < 1 {
+		t.Fatalf("Grain(0) = %d, want >= 1", got)
+	}
+	if light, heavy := Grain(4), Grain(4096); light <= heavy {
+		t.Fatalf("Grain(4) = %d should exceed Grain(4096) = %d", light, heavy)
+	}
+	// Small item counts with large per-item work must still split: the
+	// chunk count at grain g for n items is ceil(n/g), which is > 1
+	// whenever g < n.
+	if g := Grain(2048); g > 2 {
+		t.Fatalf("Grain(2048) = %d leaves a 10-item loop nearly serial", g)
+	}
+}
+
 func TestSetWorkersFloorsAtGOMAXPROCS(t *testing.T) {
 	prev := Workers()
 	defer SetWorkers(prev)

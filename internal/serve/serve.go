@@ -47,7 +47,6 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/eden"
 	"repro/internal/errormodel"
-	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -262,7 +261,9 @@ func (s *Server) Register(name string, mc ModelConfig) (*Model, error) {
 			calib = 16
 		}
 		corr.CalibrateNet(tm, m.net, calib, 0)
-		// Static weight image: corrupt once, keep (no restore).
+		// Static weight image: corrupt once, keep (no restore). Adoption
+		// first, so the corruptor refreshes the int8 images in sync.
+		adoptQuantized(m.net, m.prec)
 		corr.CorruptWeights(m.net)
 		m.pool = eden.NewClonePool(corr)
 		// Pay the clone allocations now, not on the first full batch.
@@ -320,7 +321,9 @@ func (s *Server) Deploy(dep *eden.Deployment, opts ...DeployOption) (*Model, err
 		opt(m)
 	}
 	corr := dep.NewCorruptor()
-	// Static weight image at the deployment's operating point(s).
+	// Static weight image at the deployment's operating point(s). Adoption
+	// first, so the corruptor refreshes the int8 images in sync.
+	adoptQuantized(net, m.prec)
 	corr.CorruptWeights(net)
 	m.pool = eden.NewClonePool(corr)
 	// Pay the clone allocations now, not on the first full batch.
@@ -369,7 +372,9 @@ func (s *Server) DeployStage(dep *eden.Deployment, opts ...DeployOption) (*Model
 		opt(m)
 	}
 	corr := dep.NewCorruptor()
-	// Static weight image for this stage's share of the parameters.
+	// Static weight image for this stage's share of the parameters, with
+	// int8 images adopted first so corruption keeps them in sync.
+	adoptQuantized(net, m.prec)
 	corr.CorruptWeights(net)
 	m.pool = eden.NewClonePool(corr)
 	m.pool.Prewarm(s.cfg.MaxBatch)
@@ -383,6 +388,18 @@ func (s *Server) DeployStage(dep *eden.Deployment, opts ...DeployOption) (*Model
 	}
 	s.mu.Unlock()
 	return m, nil
+}
+
+// adoptQuantized caches int8 weight-code images on networks served by a
+// quantized backend, enabling the QuantBackend fast path (codes feed the
+// integer kernels with no per-forward weight quantization). A no-op for
+// float backends and for precisions with no int8 image. Runs before weight
+// corruption so eden.CorruptWeights re-derives the images from the
+// corrupted codes.
+func adoptQuantized(net *dnn.Network, prec quant.Precision) {
+	if _, ok := net.Backend().(compute.QuantBackend); ok {
+		net.AdoptQuantizedWeights(prec)
+	}
 }
 
 // Model returns a registered model by name.
@@ -898,19 +915,21 @@ func (m *Model) drain() {
 // sample's forward completes (BatchOptions.Done), so the pool's steady
 // state holds about one clone per worker regardless of batch size.
 //
-// Multi-request batches on a single worker take the fused path — one
-// batched kernel call per layer, amortizing weight traffic across the
-// batch — while multiple workers fan samples out across the pool instead,
-// where the coarser per-sample parallelism wins. The two are bit-identical
-// (pinned by TestContinuousSchedulerDeterminism), so the choice is purely
-// a throughput heuristic.
+// Multi-request batches take the fused path — one batched kernel call per
+// layer, amortizing weight traffic across the batch. The batched kernels
+// split their own output coordinates across the worker pool and the
+// per-sample corruption hooks fan out too (dnn.ForwardBatchFused), so the
+// fused path scales with workers rather than competing with per-sample
+// fan-out for them. The two paths are bit-identical (pinned by
+// TestContinuousSchedulerDeterminism), so the choice is purely a
+// throughput heuristic.
 func (m *Model) dispatch(batch []*pending) {
 	start := time.Now()
 	xs := make([]*tensor.Tensor, len(batch))
 	for i, p := range batch {
 		xs[i] = p.x
 	}
-	fused := len(batch) > 1 && parallel.Workers() == 1
+	fused := len(batch) > 1
 	opt := dnn.BatchOptions{}
 	var clones []eden.Cloner
 	if m.pool != nil {
